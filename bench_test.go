@@ -1,0 +1,113 @@
+package cbma_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DESIGN.md's per-experiment index). Each benchmark runs the
+// corresponding experiment from internal/paperbench and prints its rows, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation; EXPERIMENTS.md records a reference run.
+// Workloads here use a moderate scale (fewer packets than the paper's 1000
+// per point) so the whole suite completes in minutes; cmd/cbmabench runs
+// the same experiments at any scale.
+
+import (
+	"os"
+	"testing"
+
+	"cbma"
+	"cbma/internal/paperbench"
+)
+
+// benchOptions is the workload scale used by the bench harness.
+func benchOptions() paperbench.Options {
+	o := paperbench.DefaultOptions()
+	o.Packets = 120
+	o.Groups = 15
+	o.Trials = 500
+	return o
+}
+
+// runExperiment executes one registry entry per benchmark iteration,
+// printing its table on the first iteration only.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := paperbench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %q not in registry", id)
+	}
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		w := os.Stdout
+		if i > 0 {
+			devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer devnull.Close()
+			w = devnull
+		}
+		if err := exp.Run(w, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1ExistingSystems(b *testing.B) { runExperiment(b, "table1") }
+
+func BenchmarkTable2PowerDifference(b *testing.B) { runExperiment(b, "table2") }
+
+func BenchmarkFigure5FriisField(b *testing.B) { runExperiment(b, "fig5") }
+
+func BenchmarkFigure8aDistance(b *testing.B) { runExperiment(b, "fig8a") }
+
+func BenchmarkFigure8bPower(b *testing.B) { runExperiment(b, "fig8b") }
+
+func BenchmarkFigure8cPreamble(b *testing.B) { runExperiment(b, "fig8c") }
+
+func BenchmarkFigure9aBitrate(b *testing.B) { runExperiment(b, "fig9a") }
+
+func BenchmarkFigure9bCodes(b *testing.B) { runExperiment(b, "fig9b") }
+
+func BenchmarkFigure9cPowerControl(b *testing.B) { runExperiment(b, "fig9c") }
+
+func BenchmarkUserDetection(b *testing.B) { runExperiment(b, "userdetect") }
+
+func BenchmarkFigure10CDF(b *testing.B) { runExperiment(b, "fig10") }
+
+func BenchmarkFigure11Async(b *testing.B) { runExperiment(b, "fig11") }
+
+func BenchmarkFigure12Conditions(b *testing.B) { runExperiment(b, "fig12") }
+
+func BenchmarkHeadlineThroughput(b *testing.B) { runExperiment(b, "headline") }
+
+func BenchmarkAblationDetector(b *testing.B) { runExperiment(b, "ablation-detector") }
+
+func BenchmarkAblationImpedanceStates(b *testing.B) { runExperiment(b, "ablation-impedance") }
+
+func BenchmarkAblationCodeFamilies(b *testing.B) { runExperiment(b, "ablation-codes") }
+
+func BenchmarkAblationNodeSelection(b *testing.B) { runExperiment(b, "ablation-select") }
+
+func BenchmarkExtensionCFO(b *testing.B) { runExperiment(b, "ext-cfo") }
+
+func BenchmarkExtensionAckLoss(b *testing.B) { runExperiment(b, "ext-ackloss") }
+
+// BenchmarkEngineRound measures the raw cost of one four-tag collision
+// round — the simulator's hot path.
+func BenchmarkEngineRound(b *testing.B) {
+	scn := cbma.DefaultScenario()
+	scn.NumTags = 4
+	scn.Packets = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine, err := cbma.NewEngine(scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

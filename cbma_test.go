@@ -1,0 +1,139 @@
+package cbma_test
+
+import (
+	"testing"
+
+	"cbma"
+)
+
+// These tests exercise the public facade the way a downstream user would —
+// everything here goes through the cbma package only.
+
+func fastScenario() cbma.Scenario {
+	scn := cbma.DefaultScenario()
+	scn.PayloadBytes = 8
+	scn.Packets = 20
+	return scn
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	scn := fastScenario()
+	scn.NumTags = 4
+	engine, err := cbma.NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := engine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FramesSent != 4*scn.Packets {
+		t.Errorf("sent %d", m.FramesSent)
+	}
+	if m.FER > 0.2 {
+		t.Errorf("FER %v", m.FER)
+	}
+}
+
+func TestSystemFlow(t *testing.T) {
+	sys, err := cbma.NewSystem(cbma.SystemConfig{Scenario: fastScenario()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final.FramesSent == 0 {
+		t.Error("system run sent nothing")
+	}
+}
+
+func TestCodeSetConstruction(t *testing.T) {
+	for _, fam := range []cbma.CodeFamily{cbma.FamilyGold, cbma.Family2NC, cbma.FamilyWalsh, cbma.FamilyKasami} {
+		set, err := cbma.NewCodeSet(fam, 5, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		if set.Size() != 5 {
+			t.Errorf("%v: size %d", fam, set.Size())
+		}
+	}
+}
+
+func TestFriisFieldPublic(t *testing.T) {
+	field, err := cbma.FriisField(cbma.DefaultChannel(), cbma.NewDeployment(0.5), 1, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(field) != 6 || len(field[0]) != 10 {
+		t.Fatalf("grid %dx%d", len(field), len(field[0]))
+	}
+}
+
+func TestBaselinesPublic(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = 5
+	td, err := cbma.TDMA(scn, cbma.TDMAConfig{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Scheme != "tdma" {
+		t.Errorf("scheme %q", td.Scheme)
+	}
+	fs, err := cbma.FSA(8, cbma.FSAConfig{FrameSlots: 8, Frames: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.FramesSent != 160 {
+		t.Errorf("fsa sent %d", fs.FramesSent)
+	}
+	fd, err := cbma.FDMA(8, cbma.FDMAConfig{Channels: 4, Frames: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Scheme != "fdma" {
+		t.Errorf("scheme %q", fd.Scheme)
+	}
+	if len(cbma.Table1()) == 0 {
+		t.Error("empty Table 1")
+	}
+	row := cbma.CBMARow(8e6, 10, 5)
+	if row.Tags != 10 {
+		t.Errorf("row %+v", row)
+	}
+}
+
+func TestExperimentFacades(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = 10
+	if _, err := cbma.SweepDistance(scn, []float64{1}, []int{2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := cbma.SweepCodes(scn, []int{2}); err != nil {
+		t.Error(err)
+	}
+	if _, err := cbma.WorkingConditions(scn); err != nil {
+		t.Error(err)
+	}
+	res, err := cbma.UserDetection(scn, 4, 10)
+	if err != nil {
+		t.Error(err)
+	}
+	if res.Trials != 10 {
+		t.Errorf("trials %d", res.Trials)
+	}
+	if _, err := cbma.PowerDifferenceTable(scn, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := cbma.SweepAsync(scn, []float64{0}); err != nil {
+		t.Error(err)
+	}
+	none, pc, pcns, err := cbma.DeploymentStudy(scn, 2)
+	if err != nil {
+		t.Error(err)
+	}
+	if len(none) != 2 || len(pc) != 2 || len(pcns) != 2 {
+		t.Errorf("study samples %d/%d/%d", len(none), len(pc), len(pcns))
+	}
+}

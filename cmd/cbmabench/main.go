@@ -1,0 +1,81 @@
+// Command cbmabench regenerates every table and figure of the paper's
+// evaluation (plus the DESIGN.md ablations) from the simulator.
+//
+//	cbmabench                  # run the full suite at default fidelity
+//	cbmabench -exp fig9b       # one experiment
+//	cbmabench -quick           # smoke-run scale
+//	cbmabench -list            # show the registry
+//	cbmabench -packets 500 -groups 50 -trials 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cbma/internal/paperbench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cbmabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cbmabench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment ID to run, or 'all'")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		quick   = fs.Bool("quick", false, "smoke-run workload scale")
+		seed    = fs.Int64("seed", 1, "random seed")
+		packets = fs.Int("packets", 0, "packets per sweep point (0 = scale default)")
+		groups  = fs.Int("groups", 0, "random placement groups (0 = scale default)")
+		trials  = fs.Int("trials", 0, "user-detection trials (0 = scale default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range paperbench.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	opts := paperbench.DefaultOptions()
+	if *quick {
+		opts = paperbench.Quick()
+	}
+	opts.Seed = *seed
+	if *packets > 0 {
+		opts.Packets = *packets
+	}
+	if *groups > 0 {
+		opts.Groups = *groups
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+
+	var selected []paperbench.Experiment
+	if *exp == "all" {
+		selected = paperbench.All()
+	} else {
+		e, ok := paperbench.Find(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+		}
+		selected = []paperbench.Experiment{e}
+	}
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("    (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

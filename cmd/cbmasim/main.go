@@ -1,0 +1,143 @@
+// Command cbmasim runs one CBMA scenario from command-line flags and prints
+// its metrics — the interactive front door to the simulator.
+//
+//	cbmasim -tags 5 -family 2nc -distance 2 -packets 300
+//	cbmasim -tags 4 -power-control -random-impedance
+//	cbmasim -tags 3 -interference wifi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbma"
+	"cbma/internal/pn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cbmasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cbmasim", flag.ContinueOnError)
+	var (
+		tags     = fs.Int("tags", 2, "concurrent tags")
+		family   = fs.String("family", "gold", "code family: gold, 2nc, walsh, kasami")
+		distance = fs.Float64("distance", 1.0, "tag-to-receiver distance (m)")
+		packets  = fs.Int("packets", 200, "collision rounds")
+		payload  = fs.Int("payload", 16, "payload bytes per frame")
+		bitrate  = fs.Float64("bitrate", 1e6, "on-air bit rate (bps)")
+		txPower  = fs.Float64("tx-power", 20, "excitation power (dBm)")
+		preamble = fs.Int("preamble", 8, "preamble length (bits)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		pc       = fs.Bool("power-control", false, "enable the Algorithm 1 loop")
+		randImp  = fs.Bool("random-impedance", false, "boot tags in random impedance states")
+		nodeSel  = fs.Bool("node-selection", false, "enable §V-C node selection")
+		sic      = fs.Bool("sic", false, "enable successive interference cancellation")
+		interf   = fs.String("interference", "", "interference: '', wifi, bluetooth, ofdm")
+		perTag   = fs.Bool("per-tag", false, "print per-tag delivery ratios")
+		record   = fs.String("record", "", "write a channel trace to this file (§VIII-C emulation)")
+		replay   = fs.String("replay", "", "replay a channel trace from this file instead of live draws")
+		cfo      = fs.Float64("cfo-ppm", 0, "per-tag carrier frequency offset (± ppm)")
+		tracking = fs.Bool("phase-tracking", false, "enable decision-directed phase tracking")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fam, err := pn.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	scn := cbma.DefaultScenario()
+	scn.Seed = *seed
+	scn.NumTags = *tags
+	scn.Family = fam
+	scn.TagLineDistance = *distance
+	scn.Packets = *packets
+	scn.PayloadBytes = *payload
+	scn.ChipRateHz = *bitrate
+	scn.Channel.TxPowerDBm = *txPower
+	scn.Frame.PreambleBits = *preamble
+	scn.PowerControl = *pc
+	scn.RandomInitialImpedance = *randImp
+	scn.SIC = *sic
+	switch *interf {
+	case "":
+	case "wifi":
+		scn.Interferers = []cbma.Interferer{&cbma.WiFiInterferer{PowerDBm: scn.Channel.NoiseFloorDBm + 14}}
+	case "bluetooth":
+		scn.Interferers = []cbma.Interferer{&cbma.BluetoothInterferer{PowerDBm: scn.Channel.NoiseFloorDBm + 14}}
+	case "ofdm":
+		scn.OFDMExcitation = true
+	default:
+		return fmt.Errorf("unknown interference %q", *interf)
+	}
+
+	scn.CFOppm = *cfo
+	scn.PhaseTracking = *tracking
+
+	sys, err := cbma.NewSystem(cbma.SystemConfig{Scenario: scn, NodeSelection: *nodeSel})
+	if err != nil {
+		return err
+	}
+	var recorder *cbma.TraceRecorder
+	if *record != "" {
+		recorder = cbma.NewTraceRecorder(fmt.Sprintf("cbmasim tags=%d family=%s", *tags, fam))
+		sys.Engine().RecordTo(recorder)
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		tr, err := cbma.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		sys.Engine().ReplayFrom(cbma.NewTracePlayer(tr))
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	if recorder != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		werr := recorder.Trace().Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("  trace recorded         %s (%d rounds)\n", *record, recorder.Len())
+	}
+	m := rep.Final
+	fmt.Printf("tags=%d family=%s distance=%.2fm bitrate=%.3gbps packets=%d\n",
+		*tags, fam, *distance, *bitrate, *packets)
+	fmt.Printf("  frames sent/delivered  %d / %d\n", m.FramesSent, m.FramesDelivered)
+	fmt.Printf("  frame error rate       %.4f\n", m.FER)
+	fmt.Printf("  goodput                %.1f kbps\n", m.GoodputBps/1e3)
+	fmt.Printf("  raw aggregate rate     %.3f Mbps\n", m.RawAggregateBps/1e6)
+	if *pc {
+		fmt.Printf("  power-control rounds   %d (converged %v)\n",
+			m.PowerControlRounds, m.PowerControlConverged)
+	}
+	if *nodeSel {
+		fmt.Printf("  tags re-placed         %d\n", rep.Replacements)
+	}
+	if *perTag {
+		for id := 0; id < *tags; id++ {
+			fmt.Printf("  tag %2d delivery ratio  %.3f\n", id, m.TagDeliveryRatio(id))
+		}
+	}
+	return nil
+}

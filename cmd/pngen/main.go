@@ -1,0 +1,73 @@
+// Command pngen emits PN spreading-code families and their correlation
+// profiles — handy for inspecting the codes tags would be flashed with.
+//
+//	pngen -family gold -n 10
+//	pngen -family 2nc -n 5 -chips
+//	pngen -family gold -n 10 -profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cbma/internal/pn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pngen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pngen", flag.ContinueOnError)
+	var (
+		family  = fs.String("family", "gold", "code family: gold, 2nc, walsh, kasami")
+		n       = fs.Int("n", 10, "number of codes (tags)")
+		degree  = fs.Uint("degree", 5, "m-sequence degree for gold/kasami")
+		chips   = fs.Bool("chips", false, "print full chip sequences")
+		profile = fs.Bool("profile", false, "print the correlation profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fam, err := pn.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	set, err := pn.NewSet(fam, *n, *degree)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("family=%s codes=%d chips/bit=%d\n", set.Family, set.Size(), set.ChipLength())
+	if *chips {
+		for _, c := range set.Codes {
+			fmt.Printf("code %2d one:  %s\n", c.ID, chipString(c.One))
+			fmt.Printf("code %2d zero: %s\n", c.ID, chipString(c.Zero))
+		}
+	}
+	if *profile {
+		aligned, err := pn.Profile(set, 0)
+		if err != nil {
+			return err
+		}
+		async, err := pn.Profile(set, -1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("aligned:  max cross %.4f  mean cross %.4f\n", aligned.MaxCross, aligned.MeanCross)
+		fmt.Printf("async:    max cross %.4f  mean cross %.4f  max auto sidelobe %.4f\n",
+			async.MaxCross, async.MeanCross, async.MaxAutoSidelobe)
+	}
+	return nil
+}
+
+func chipString(chips []byte) string {
+	out := make([]byte, len(chips))
+	for i, c := range chips {
+		out[i] = '0' + c
+	}
+	return string(out)
+}

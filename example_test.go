@@ -1,0 +1,75 @@
+package cbma_test
+
+import (
+	"fmt"
+
+	"cbma"
+)
+
+// ExampleNewEngine runs the smallest possible collision experiment: two
+// tags backscattering concurrently one meter from the receiver.
+func ExampleNewEngine() {
+	scn := cbma.DefaultScenario()
+	scn.Packets = 50
+	engine, err := cbma.NewEngine(scn)
+	if err != nil {
+		panic(err)
+	}
+	m, err := engine.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.FramesSent)
+	// Output: 100
+}
+
+// ExampleNewCodeSet inspects the spreading codes tags would be flashed
+// with.
+func ExampleNewCodeSet() {
+	set, err := cbma.NewCodeSet(cbma.Family2NC, 3, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set.Size(), set.ChipLength())
+	// Output: 3 6
+}
+
+// ExampleNewSystem runs the full closed loop — Algorithm 1 power control
+// plus node selection — on a deployment with one struggling tag.
+func ExampleNewSystem() {
+	scn := cbma.DefaultScenario()
+	scn.Packets = 40
+	scn.PowerControl = true
+	scn.RandomInitialImpedance = true
+	sys, err := cbma.NewSystem(cbma.SystemConfig{
+		Scenario:      scn,
+		NodeSelection: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Final.FramesSent > 0)
+	// Output: true
+}
+
+// ExampleTDMA compares concurrent CBMA against polling the same tags one
+// at a time.
+func ExampleTDMA() {
+	scn := cbma.DefaultScenario()
+	scn.NumTags = 4
+	scn.Packets = 30
+	concurrent, err := cbma.RunCBMABaseline(scn)
+	if err != nil {
+		panic(err)
+	}
+	polled, err := cbma.TDMA(scn, cbma.TDMAConfig{Rounds: 30})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(concurrent.GoodputBps > polled.GoodputBps)
+	// Output: true
+}

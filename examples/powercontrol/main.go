@@ -1,0 +1,84 @@
+// Command powercontrol demonstrates the paper's central mechanism: a
+// near–far deployment (one tag close to the receiver, one far) is nearly
+// undecodable for the far tag until the tags adapt their antenna
+// impedances via the ACK-driven Algorithm 1 loop, and improves further
+// when the §V-C node-selection scheme re-places tags that stay bad.
+//
+//	go run ./examples/powercontrol
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cbma"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "powercontrol:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := cbma.DefaultScenario()
+	base.NumTags = 3
+	base.PayloadBytes = 16
+	base.Packets = 200
+	// A deliberately unfair placement: tag 0 sits almost on top of the
+	// receiver while tags 1 and 2 are several times farther away, and all
+	// three boot in arbitrary impedance states — the situation the
+	// ACK-driven controller is built to repair.
+	base.Deployment = cbma.NewDeployment(0.5)
+	base.Deployment.Tags = []cbma.Position{
+		{X: 0.35, Y: 0.15},
+		{X: -1.2, Y: 0.7},
+		{X: -1.4, Y: -0.5},
+	}
+	base.RandomInitialImpedance = true
+
+	fmt.Println("Near–far rescue — 3 tags, one hugging the receiver")
+
+	run := func(label string, pc, ns bool) error {
+		scn := base
+		scn.PowerControl = pc
+		sys, err := cbma.NewSystem(cbma.SystemConfig{
+			Scenario:           scn,
+			NodeSelection:      ns,
+			CandidatePositions: 60,
+		})
+		if err != nil {
+			return err
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-28s FER %.3f  goodput %7.1f kbps", label, rep.Final.FER,
+			rep.Final.GoodputBps/1e3)
+		if ns {
+			fmt.Printf("  (%d tags re-placed)", rep.Replacements)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := run("no control", false, false); err != nil {
+		return err
+	}
+	if err := run("power control", true, false); err != nil {
+		return err
+	}
+	if err := run("power control + selection", true, true); err != nil {
+		return err
+	}
+
+	// Show the impedance ladder the controller climbs.
+	fmt.Println("\n  tag impedance bank (|ΔΓ| per state, from internal/tag DefaultBank):")
+	fmt.Println("    state 1: 1 pF + ESR   ≈ 0.55   (weakest backscatter)")
+	fmt.Println("    state 2: 3 pF + ESR   ≈ 0.65")
+	fmt.Println("    state 3: 2 nH + ESR   ≈ 0.75")
+	fmt.Println("    state 4: open circuit = 1.00   (strongest)")
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command quickstart is the smallest end-to-end CBMA run: four tags
+// backscatter concurrently one meter from the receiver using Gold-31
+// codes, and the receiver decodes the collision.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cbma"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scn := cbma.DefaultScenario()
+	scn.NumTags = 4
+	scn.PayloadBytes = 16
+	scn.Packets = 200
+
+	engine, err := cbma.NewEngine(scn)
+	if err != nil {
+		return err
+	}
+	m, err := engine.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("CBMA quickstart — 4 concurrent tags, Gold-31 codes, 1 m range")
+	fmt.Printf("  frames sent        %d\n", m.FramesSent)
+	fmt.Printf("  frames delivered   %d\n", m.FramesDelivered)
+	fmt.Printf("  frame error rate   %.3f\n", m.FER)
+	fmt.Printf("  goodput            %.1f kbps\n", m.GoodputBps/1e3)
+	fmt.Printf("  raw aggregate rate %.2f Mbps\n", m.RawAggregateBps/1e6)
+	return nil
+}

@@ -1,0 +1,81 @@
+package cbma
+
+import (
+	"cbma/internal/core"
+	"cbma/internal/sim"
+)
+
+// UserDetectionResult summarizes the §VII-B2 user-detection experiment.
+type UserDetectionResult = sim.UserDetectionResult
+
+// PowerDiffRow is one row of Table II.
+type PowerDiffRow = sim.PowerDiffRow
+
+// Experiment condition labels for WorkingConditions (Fig. 12).
+const (
+	CondClean     = sim.CondClean
+	CondWiFi      = sim.CondWiFi
+	CondBluetooth = sim.CondBluetooth
+	CondOFDM      = sim.CondOFDM
+)
+
+// SweepDistance reproduces Fig. 8(a): FER versus tag-to-RX distance.
+func SweepDistance(base Scenario, distances []float64, tagCounts []int) ([]Series, error) {
+	return sim.SweepDistance(base, distances, tagCounts)
+}
+
+// SweepTxPower reproduces Fig. 8(b): FER versus excitation transmit power.
+func SweepTxPower(base Scenario, powersDBm []float64, tagCounts []int) ([]Series, error) {
+	return sim.SweepTxPower(base, powersDBm, tagCounts)
+}
+
+// SweepPreamble reproduces Fig. 8(c): FER versus preamble length.
+func SweepPreamble(base Scenario, preambleBits []int, tagCounts []int) ([]Series, error) {
+	return sim.SweepPreamble(base, preambleBits, tagCounts)
+}
+
+// SweepBitrate reproduces Fig. 9(a): FER versus on-air bit rate.
+func SweepBitrate(base Scenario, ratesHz []float64, tagCounts []int) ([]Series, error) {
+	return sim.SweepBitrate(base, ratesHz, tagCounts)
+}
+
+// SweepCodes reproduces Fig. 9(b): Gold versus 2NC error rates by tag count.
+func SweepCodes(base Scenario, tagCounts []int) ([]Series, error) {
+	return sim.SweepCodes(base, tagCounts)
+}
+
+// SweepPowerControl reproduces Fig. 9(c): error rate with and without the
+// Algorithm 1 loop over random placements.
+func SweepPowerControl(base Scenario, tagCounts []int, groups int) ([]Series, error) {
+	return sim.SweepPowerControl(base, tagCounts, groups)
+}
+
+// UserDetection reproduces the §VII-B2 experiment (10-tag group, random
+// active subsets; paper reports 99.9% accuracy).
+func UserDetection(base Scenario, groupSize, trials int) (UserDetectionResult, error) {
+	return sim.UserDetection(base, groupSize, trials)
+}
+
+// SweepAsync reproduces Fig. 11: error rate versus tag-2 clock delay.
+func SweepAsync(base Scenario, delaysChips []float64) (Series, error) {
+	return sim.SweepAsync(base, delaysChips)
+}
+
+// WorkingConditions reproduces Fig. 12: packet reception rate under clean,
+// WiFi-interference, Bluetooth-interference and OFDM-excitation conditions.
+func WorkingConditions(base Scenario) ([]Point, error) {
+	return sim.WorkingConditions(base)
+}
+
+// PowerDifferenceTable reproduces Table II: two-tag collisions relating
+// received-power difference to error rate.
+func PowerDifferenceTable(base Scenario, pairs int) ([]PowerDiffRow, error) {
+	return sim.PowerDifferenceTable(base, pairs)
+}
+
+// DeploymentStudy reproduces Fig. 10: per-group FER samples under no
+// control, power control, and power control plus node selection, for CDF
+// plotting.
+func DeploymentStudy(base Scenario, groups int) (none, pc, pcns []float64, err error) {
+	return core.DeploymentStudy(base, groups)
+}

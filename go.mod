@@ -1,0 +1,3 @@
+module cbma
+
+go 1.22

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cbma/internal/pn"
+	"cbma/internal/sim"
+)
+
+func testScenario() sim.Scenario {
+	scn := sim.DefaultScenario()
+	scn.PayloadBytes = 8
+	scn.Packets = 20
+	return scn
+}
+
+func TestTDMAValidation(t *testing.T) {
+	if _, err := TDMA(testScenario(), TDMAConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestTDMADelivers(t *testing.T) {
+	scn := testScenario()
+	scn.NumTags = 3
+	res, err := TDMA(scn, TDMAConfig{Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "tdma" {
+		t.Errorf("scheme %q", res.Scheme)
+	}
+	if res.FramesSent != 15 {
+		t.Errorf("sent %d, want 15", res.FramesSent)
+	}
+	// Uncontended slots at 1 m should almost always deliver.
+	if res.FER > 0.1 {
+		t.Errorf("TDMA FER %v, want near 0 (no collisions)", res.FER)
+	}
+	if res.GoodputBps <= 0 {
+		t.Error("goodput must be positive")
+	}
+}
+
+func TestCBMABeatsTDMAAtTenTags(t *testing.T) {
+	scn := testScenario()
+	scn.NumTags = 10
+	scn.Family = pn.Family2NC
+	scn.Packets = 10
+	if testing.Short() {
+		scn.Packets = 4
+	}
+	cb, err := CBMA(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := TDMA(scn, TDMAConfig{Rounds: scn.Packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := cb.GoodputBps / td.GoodputBps
+	if gain < 5 {
+		t.Errorf("CBMA/TDMA goodput gain %.1f×, want ≥5× (paper claims >10×); cbma=%v tdma=%v",
+			gain, cb.GoodputBps, td.GoodputBps)
+	}
+}
+
+func TestFSAEfficiencyCapsNearInverseE(t *testing.T) {
+	// With slots == tags, ALOHA throughput peaks at ≈ 1/e per slot.
+	const n = 16
+	res, err := FSA(n, FSAConfig{FrameSlots: n, Frames: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSlot := float64(res.FramesDelivered) / float64(400*n)
+	if math.Abs(perSlot-1/math.E) > 0.05 {
+		t.Errorf("per-slot success %v, want ≈ 1/e", perSlot)
+	}
+}
+
+func TestFSAValidation(t *testing.T) {
+	if _, err := FSA(0, FSAConfig{FrameSlots: 4, Frames: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero tags must fail")
+	}
+	if _, err := FSA(4, FSAConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero frames/slots must fail")
+	}
+}
+
+func TestFSASingleTagFERApplies(t *testing.T) {
+	res, err := FSA(1, FSAConfig{FrameSlots: 1, Frames: 2000, SingleTagFER: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FER-0.3) > 0.05 {
+		t.Errorf("FER %v, want ≈0.3", res.FER)
+	}
+}
+
+func TestFDMAChannelsParallelize(t *testing.T) {
+	one, err := FDMA(8, FDMAConfig{Channels: 1, Frames: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := FDMA(8, FDMAConfig{Channels: 8, Frames: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.GoodputBps <= one.GoodputBps {
+		t.Errorf("8 channels (%v bps) must beat 1 channel (%v bps)",
+			eight.GoodputBps, one.GoodputBps)
+	}
+	// With 8 channels for 8 tags, goodput should be ≈8× the single channel.
+	ratio := eight.GoodputBps / one.GoodputBps
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("parallelization ratio %v, want ≈8", ratio)
+	}
+}
+
+func TestFDMAValidation(t *testing.T) {
+	if _, err := FDMA(0, FDMAConfig{Channels: 2, Frames: 2}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero tags must fail")
+	}
+}
+
+func TestMeasureSingleTagFER(t *testing.T) {
+	scn := testScenario()
+	fer, err := MeasureSingleTagFER(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fer < 0 || fer > 0.1 {
+		t.Errorf("single-tag FER at 1 m = %v, want near 0", fer)
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7 (paper Table I)", len(rows))
+	}
+	byName := map[string]SystemSummary{}
+	for _, r := range rows {
+		byName[r.Technology] = r
+	}
+	if byName["Netscatter"].Tags != 256 {
+		t.Errorf("Netscatter tags %d, want 256", byName["Netscatter"].Tags)
+	}
+	if byName["BackFi"].DataRateBps != 5e6 {
+		t.Errorf("BackFi rate %v", byName["BackFi"].DataRateBps)
+	}
+	if byName["PLoRa"].RangeMeters != 1100 {
+		t.Errorf("PLoRa range %v", byName["PLoRa"].RangeMeters)
+	}
+}
+
+func TestCBMARowAndFormat(t *testing.T) {
+	row := CBMARow(8e6, 10, 5)
+	if row.Tags != 10 || row.DataRateBps != 8e6 {
+		t.Errorf("row %+v", row)
+	}
+	tests := []struct {
+		bps  float64
+		want string
+	}{
+		{8e6, "8Mbps"},
+		{500e3, "500kbps"},
+		{8.7, "8.7bps"},
+	}
+	for _, tc := range tests {
+		if got := FormatRate(tc.bps); got != tc.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", tc.bps, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQAlgoValidation(t *testing.T) {
+	if _, err := QAlgo(0, QAlgoConfig{Inventories: 1}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero tags must fail")
+	}
+	if _, err := QAlgo(4, QAlgoConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("zero inventories must fail")
+	}
+}
+
+func TestQAlgoReadsEveryTag(t *testing.T) {
+	const tags = 50
+	res, err := QAlgo(tags, QAlgoConfig{Inventories: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDelivered != 4*tags {
+		t.Errorf("delivered %d, want %d (every tag read each inventory)",
+			res.FramesDelivered, 4*tags)
+	}
+	if res.GoodputBps <= 0 {
+		t.Error("goodput must be positive")
+	}
+}
+
+func TestQAlgoAdaptationBeatsFixedSmallFrame(t *testing.T) {
+	// 100 tags crammed into a fixed 16-slot FSA frame collide constantly;
+	// the Q algorithm grows its frame and finishes with far less airtime
+	// per read.
+	const tags = 100
+	qres, err := QAlgo(tags, QAlgoConfig{Inventories: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := FSA(tags, FSAConfig{FrameSlots: 16, Frames: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPerRead := qres.AirtimeSeconds / float64(qres.FramesDelivered)
+	fPerRead := fres.AirtimeSeconds / float64(fres.FramesDelivered)
+	if qPerRead >= fPerRead {
+		t.Errorf("Q algorithm airtime/read %v should beat fixed FSA %v", qPerRead, fPerRead)
+	}
+}
+
+func TestQAlgoSingleTagFERReducesDelivery(t *testing.T) {
+	clean, err := QAlgo(20, QAlgoConfig{Inventories: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := QAlgo(20, QAlgoConfig{Inventories: 2, Seed: 3, SingleTagFER: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.FER <= clean.FER {
+		t.Errorf("lossy slots must raise FER: %v vs %v", lossy.FER, clean.FER)
+	}
+	// Retries still eventually read everyone.
+	if lossy.FramesDelivered != clean.FramesDelivered {
+		t.Errorf("retries should still read all tags: %d vs %d",
+			lossy.FramesDelivered, clean.FramesDelivered)
+	}
+}
+
+func TestQAlgoSafetyBound(t *testing.T) {
+	// SingleTagFER = 1 means no read ever succeeds; the safety bound must
+	// abandon the inventory instead of spinning forever.
+	res, err := QAlgo(5, QAlgoConfig{Inventories: 1, Seed: 4, SingleTagFER: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDelivered != 0 {
+		t.Errorf("delivered %d with FER 1", res.FramesDelivered)
+	}
+}

@@ -1,0 +1,52 @@
+package baseline
+
+import "fmt"
+
+// SystemSummary is one row of the paper's Table I: the landscape of
+// existing backscatter systems CBMA is positioned against.
+type SystemSummary struct {
+	Technology string
+	// DataRateBps is the reported per-link data rate.
+	DataRateBps float64
+	// Tags is the demonstrated concurrent/supported tag count.
+	Tags int
+	// RangeMeters is the demonstrated communication distance.
+	RangeMeters float64
+}
+
+// Table1 returns the literature rows of Table I verbatim (these are
+// reported numbers from the cited systems, not measurements this simulator
+// can regenerate) plus helpers to append the locally measured CBMA row.
+func Table1() []SystemSummary {
+	return []SystemSummary{
+		{Technology: "Ambient Backscatter", DataRateBps: 1e3, Tags: 2, RangeMeters: 1},
+		{Technology: "Wi-Fi Backscatter", DataRateBps: 1e3, Tags: 1, RangeMeters: 0.65},
+		{Technology: "BackFi", DataRateBps: 5e6, Tags: 1, RangeMeters: 1},
+		{Technology: "FM Backscatter", DataRateBps: 3.2e3, Tags: 1, RangeMeters: 18},
+		{Technology: "LoRa Backscatter", DataRateBps: 8.7, Tags: 2, RangeMeters: 475},
+		{Technology: "PLoRa", DataRateBps: 6.25e3, Tags: 1, RangeMeters: 1100},
+		{Technology: "Netscatter", DataRateBps: 500e3, Tags: 256, RangeMeters: 2},
+	}
+}
+
+// CBMARow builds the CBMA row of Table I from a measured aggregate rate.
+func CBMARow(aggregateBps float64, tags int, rangeMeters float64) SystemSummary {
+	return SystemSummary{
+		Technology:  "CBMA (this work)",
+		DataRateBps: aggregateBps,
+		Tags:        tags,
+		RangeMeters: rangeMeters,
+	}
+}
+
+// FormatRate renders a data rate the way the paper's table does.
+func FormatRate(bps float64) string {
+	switch {
+	case bps >= 1e6:
+		return fmt.Sprintf("%.3gMbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.3gkbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.3gbps", bps)
+	}
+}

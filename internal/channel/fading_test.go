@@ -1,0 +1,87 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cbma/internal/geom"
+)
+
+func TestDrawFadingUnitMeanPower(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(21))
+	var acc float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		c := p.DrawFading(rng)
+		acc += real(c)*real(c) + imag(c)*imag(c)
+	}
+	if m := acc / n; m < 0.93 || m > 1.07 {
+		t.Errorf("fading mean power %v, want ≈1", m)
+	}
+}
+
+func TestDrawFadingDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0
+	p.RicianK = math.Inf(1)
+	rng := rand.New(rand.NewSource(22))
+	if c := p.DrawFading(rng); c != 1 {
+		t.Errorf("disabled fading must be exactly 1, got %v", c)
+	}
+}
+
+func TestLinkWithFadingDeterministic(t *testing.T) {
+	p := DefaultParams()
+	es, tag, rx := geom.Point{X: -0.5}, geom.Point{Y: 1}, geom.Point{X: 0.5}
+	fading := complex(0.8, 0.3)
+	a := p.LinkWithFading(es, tag, rx, 0.75, fading)
+	b := p.LinkWithFading(es, tag, rx, 0.75, fading)
+	if a != b {
+		t.Error("LinkWithFading must be a pure function")
+	}
+	// |gain|² = mean power × |fading|².
+	want := a.MeanRxPowerW * (0.8*0.8 + 0.3*0.3)
+	got := real(a.Gain)*real(a.Gain) + imag(a.Gain)*imag(a.Gain)
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("|gain|² = %v, want %v", got, want)
+	}
+}
+
+func TestLinkWithFadingMatchesDrawLinkStatistics(t *testing.T) {
+	// Composing DrawFading with LinkWithFading must give the same mean
+	// power as DrawLink.
+	p := DefaultParams()
+	es, tagPos, rx := geom.Point{X: -0.5}, geom.Point{Y: 1.2}, geom.Point{X: 0.5}
+	rngA := rand.New(rand.NewSource(23))
+	rngB := rand.New(rand.NewSource(23))
+	var accA, accB float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		la := p.DrawLink(es, tagPos, rx, 1, rngA)
+		accA += real(la.Gain)*real(la.Gain) + imag(la.Gain)*imag(la.Gain)
+		lb := p.LinkWithFading(es, tagPos, rx, 1, p.DrawFading(rngB))
+		accB += real(lb.Gain)*real(lb.Gain) + imag(lb.Gain)*imag(lb.Gain)
+	}
+	if ratio := accA / accB; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("mean-power ratio %v between the two paths, want ≈1", ratio)
+	}
+}
+
+func TestLinkWithFadingPhaseFromPathLength(t *testing.T) {
+	// With unit fading, the gain's phase must be exactly the path-length
+	// phase −2π(d1+d2)/λ (mod 2π).
+	p := DefaultParams()
+	es, rx := geom.Point{X: -0.5}, geom.Point{X: 0.5}
+	tagPos := geom.Point{X: 0.2, Y: 1.3}
+	g := p.LinkWithFading(es, tagPos, rx, 1, 1)
+	d := es.Distance(tagPos) + tagPos.Distance(rx)
+	want := math.Mod(-2*math.Pi*d/p.Wavelength(), 2*math.Pi)
+	got := cmplx.Phase(g.Gain)
+	diff := math.Mod(got-want+3*2*math.Pi, 2*math.Pi)
+	if diff > 1e-6 && diff < 2*math.Pi-1e-6 {
+		t.Errorf("phase %v, want %v (mod 2π)", got, want)
+	}
+}

@@ -1,0 +1,186 @@
+package channel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cbma/internal/dsp"
+	"cbma/internal/geom"
+)
+
+func TestBackscatterRxPowerDistanceScaling(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0
+	// Doubling d2 must cut power by exactly 4× (1/d2² in Eq. 1's third term).
+	p1 := p.BackscatterRxPower(0.5, 1, 1)
+	p2 := p.BackscatterRxPower(0.5, 2, 1)
+	if math.Abs(p1/p2-4) > 1e-9 {
+		t.Errorf("d2 scaling ratio %v, want 4", p1/p2)
+	}
+	// Same for d1.
+	p3 := p.BackscatterRxPower(1, 1, 1)
+	if math.Abs(p1/p3-4) > 1e-9 {
+		t.Errorf("d1 scaling ratio %v, want 4", p1/p3)
+	}
+}
+
+func TestBackscatterRxPowerGammaScaling(t *testing.T) {
+	p := DefaultParams()
+	// Halving |ΔΓ| must cut power 4× (|ΔΓ|² in Eq. 1).
+	a := p.BackscatterRxPower(0.5, 1, 1.0)
+	b := p.BackscatterRxPower(0.5, 1, 0.5)
+	if math.Abs(a/b-4) > 1e-9 {
+		t.Errorf("gamma scaling ratio %v, want 4", a/b)
+	}
+}
+
+func TestBackscatterRxPowerTxLinearity(t *testing.T) {
+	// Paper §VII-B: "backscatter power and the excitation source power are
+	// linearly related to each other".
+	p := DefaultParams()
+	p.TxPowerDBm = 10
+	a := p.BackscatterRxPower(0.5, 1, 1)
+	p.TxPowerDBm = 20
+	b := p.BackscatterRxPower(0.5, 1, 1)
+	if math.Abs(b/a-10) > 1e-9 {
+		t.Errorf("+10 dB Tx must give 10× Rx, got %v×", b/a)
+	}
+}
+
+func TestBackscatterRxPowerDistanceFloor(t *testing.T) {
+	p := DefaultParams()
+	if p.BackscatterRxPower(0, 1, 1) != p.BackscatterRxPower(0.05, 1, 1) {
+		t.Error("sub-10cm distances must clamp identically")
+	}
+	if math.IsInf(p.BackscatterRxPower(0, 0, 1), 0) {
+		t.Error("zero distances must not blow up")
+	}
+}
+
+func TestBackscatterRxPowerMagnitude(t *testing.T) {
+	// Sanity: with defaults at d1=0.5m, d2=1m the received backscatter
+	// should land in the -40..-70 dBm range typical of measured systems.
+	p := DefaultParams()
+	dbm := dsp.DBm(p.BackscatterRxPower(0.5, 1, 1))
+	if dbm > -40 || dbm < -70 {
+		t.Errorf("Rx power %v dBm outside plausible backscatter range", dbm)
+	}
+}
+
+func TestDrawLinkGainMatchesPower(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0
+	p.RicianK = math.Inf(1) // disable fading
+	rng := rand.New(rand.NewSource(5))
+	es := geom.Point{X: -0.5}
+	rx := geom.Point{X: 0.5}
+	tag := geom.Point{Y: 1}
+	link := p.DrawLink(es, tag, rx, 1, rng)
+	gotP := real(link.Gain)*real(link.Gain) + imag(link.Gain)*imag(link.Gain)
+	if math.Abs(gotP-link.MeanRxPowerW) > 1e-15*link.MeanRxPowerW {
+		t.Errorf("|gain|² = %v, mean power %v", gotP, link.MeanRxPowerW)
+	}
+	if math.IsNaN(link.SNRdB) {
+		t.Error("SNR must be finite")
+	}
+}
+
+func TestDrawLinkFadingIsUnitMeanPower(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0
+	p.RicianK = 4
+	rng := rand.New(rand.NewSource(6))
+	es, rx, tag := geom.Point{X: -0.5}, geom.Point{X: 0.5}, geom.Point{Y: 1.5}
+	mean := p.BackscatterRxPower(es.Distance(tag), tag.Distance(rx), 1)
+	var acc float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		l := p.DrawLink(es, tag, rx, 1, rng)
+		acc += real(l.Gain)*real(l.Gain) + imag(l.Gain)*imag(l.Gain)
+	}
+	ratio := acc / trials / mean
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("fading mean power ratio %v, want ≈1", ratio)
+	}
+}
+
+func TestDrawLinkDeterministicWithSeed(t *testing.T) {
+	p := DefaultParams()
+	es, rx, tag := geom.Point{X: -0.5}, geom.Point{X: 0.5}, geom.Point{Y: 2}
+	a := p.DrawLink(es, tag, rx, 0.8, rand.New(rand.NewSource(42)))
+	b := p.DrawLink(es, tag, rx, 0.8, rand.New(rand.NewSource(42)))
+	if a.Gain != b.Gain {
+		t.Error("same seed must give identical links")
+	}
+}
+
+func TestRicianCoeffRayleighLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var acc float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		h := ricianCoeff(0, rng)
+		acc += real(h)*real(h) + imag(h)*imag(h)
+	}
+	if m := acc / n; m < 0.95 || m > 1.05 {
+		t.Errorf("Rayleigh mean power %v, want ≈1", m)
+	}
+	// Negative K clamps to Rayleigh rather than producing NaN.
+	if h := ricianCoeff(-3, rng); math.IsNaN(real(h)) || math.IsNaN(imag(h)) {
+		t.Error("negative K must not produce NaN")
+	}
+}
+
+func TestFriisFieldShape(t *testing.T) {
+	p := DefaultParams()
+	d := geom.NewDeployment(0.5)
+	field, err := p.FriisField(d, 1, 30, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(field) != 20 || len(field[0]) != 30 {
+		t.Fatalf("grid %dx%d, want 20x30", len(field), len(field[0]))
+	}
+	// The cell nearest the midpoint between ES and RX must beat the room's
+	// far corner (signal strength decays with both distances — Fig. 5).
+	midJ, midI := 10, 15
+	if field[midJ][midI] <= field[0][0] {
+		t.Errorf("center %v dBm not stronger than corner %v dBm",
+			field[midJ][midI], field[0][0])
+	}
+}
+
+func TestFriisFieldBadGrid(t *testing.T) {
+	p := DefaultParams()
+	d := geom.NewDeployment(0.5)
+	if _, err := p.FriisField(d, 1, 0, 5); !errors.Is(err, ErrBadGrid) {
+		t.Fatalf("got %v, want ErrBadGrid", err)
+	}
+	if _, err := p.FriisField(d, 1, 5, -1); !errors.Is(err, ErrBadGrid) {
+		t.Fatalf("got %v, want ErrBadGrid", err)
+	}
+}
+
+func TestFriisFieldSingleCell(t *testing.T) {
+	p := DefaultParams()
+	d := geom.NewDeployment(0.5)
+	field, err := p.FriisField(d, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(field) != 1 || len(field[0]) != 1 {
+		t.Fatal("1x1 grid must work")
+	}
+	if math.IsNaN(field[0][0]) {
+		t.Error("NaN cell")
+	}
+}
+
+func TestWavelengthAccessor(t *testing.T) {
+	p := DefaultParams()
+	if l := p.Wavelength(); math.Abs(l-0.15) > 0.001 {
+		t.Errorf("wavelength %v, want ≈0.15 m at 2 GHz", l)
+	}
+}

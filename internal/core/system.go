@@ -1,0 +1,242 @@
+// Package core assembles the full closed-loop CBMA system of §V: the
+// waveform engine (tags, channel, receiver), the ACK-driven Algorithm 1
+// power-control loop, and the §V-C node-selection scheme that re-places
+// "bad" tags using the theoretical signal-strength field. This is the
+// paper's primary contribution wired together; the public cbma package
+// re-exports it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cbma/internal/geom"
+	"cbma/internal/mac"
+	"cbma/internal/sim"
+)
+
+// ErrBadConfig reports invalid system configuration.
+var ErrBadConfig = errors.New("core: invalid configuration")
+
+// Config describes a CBMA deployment run.
+type Config struct {
+	// Scenario is the radio/deployment/workload description. Its
+	// PowerControl flag selects whether Algorithm 1 runs.
+	Scenario sim.Scenario
+	// NodeSelection enables the §V-C replacement of tags whose ACK ratio
+	// stays below the cutoff after power control.
+	NodeSelection bool
+	// SelectionRounds bounds the replace-and-remeasure iterations. Zero
+	// selects 3.
+	SelectionRounds int
+	// CandidatePositions sizes the pool of idle-tag positions node
+	// selection may draw from. Zero selects 3 × NumTags.
+	CandidatePositions int
+	// NodeSelect tunes the selector (cutoffs, annealing, greedy mode).
+	NodeSelect mac.NodeSelectConfig
+}
+
+// Report is the outcome of a System run.
+type Report struct {
+	// Initial is measured before any node selection; Final after the last
+	// selection round (they are equal when node selection is off or never
+	// triggers).
+	Initial, Final sim.Metrics
+	// Replacements counts accepted tag re-placements.
+	Replacements int
+	// SelectionRounds counts executed replace-and-remeasure iterations.
+	SelectionRounds int
+	// FinalPositions records where the tags ended up.
+	FinalPositions []geom.Point
+}
+
+// System is a runnable CBMA deployment.
+type System struct {
+	cfg        Config
+	engine     *sim.Engine
+	selector   *mac.NodeSelector
+	candidates []geom.Point
+	rng        *rand.Rand
+}
+
+// New validates the configuration and builds the system.
+func New(cfg Config) (*System, error) {
+	if cfg.SelectionRounds == 0 {
+		cfg.SelectionRounds = 3
+	}
+	if cfg.SelectionRounds < 0 {
+		return nil, fmt.Errorf("%w: negative selection rounds", ErrBadConfig)
+	}
+	if cfg.CandidatePositions == 0 {
+		cfg.CandidatePositions = 3 * cfg.Scenario.NumTags
+	}
+	e, err := sim.NewEngine(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		engine: e,
+		rng:    rand.New(rand.NewSource(cfg.Scenario.Seed + 31337)),
+	}
+	if cfg.NodeSelection {
+		dep := cfg.Scenario.Deployment
+		if dep.Room.Width == 0 {
+			dep = geom.NewDeployment(0.5)
+		}
+		s.selector = mac.NewNodeSelector(cfg.NodeSelect, cfg.Scenario.Channel, dep, s.rng)
+		// Draw the idle-tag candidate pool once; §V-C replaces bad tags
+		// with idle tags already present in the environment.
+		for i := 0; i < cfg.CandidatePositions; i++ {
+			s.candidates = append(s.candidates, dep.Room.RandomPoint(s.rng))
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying engine (tests and the CLI read tag state).
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// Run executes the deployment: measure (with power control if configured),
+// then — when node selection is enabled — repeatedly replace
+// under-performing tags and re-measure.
+func (s *System) Run() (Report, error) {
+	var rep Report
+	m, err := s.engine.Run()
+	if err != nil {
+		return rep, err
+	}
+	rep.Initial = m
+	rep.Final = m
+	if s.selector == nil {
+		rep.FinalPositions = s.positions()
+		return rep, nil
+	}
+	for round := 0; round < s.cfg.SelectionRounds; round++ {
+		moved, err := s.selectOnce(rep.Final)
+		if err != nil {
+			return rep, err
+		}
+		if moved == 0 {
+			break
+		}
+		rep.Replacements += moved
+		rep.SelectionRounds++
+		m, err := s.engine.RunWithPositions(s.positions())
+		if err != nil {
+			return rep, err
+		}
+		rep.Final = m
+	}
+	rep.FinalPositions = s.positions()
+	return rep, nil
+}
+
+// selectOnce proposes a replacement for every bad tag — judged by the
+// per-tag delivery ratio of the last measurement, since the power-control
+// rounds reset the tags' own ACK windows — returning how many moves were
+// accepted.
+func (s *System) selectOnce(last sim.Metrics) (int, error) {
+	tags := s.engine.Tags()
+	active := s.positions()
+	moved := 0
+	for i, tg := range tags {
+		if !s.selector.IsBadRatio(last.TagDeliveryRatio(tg.ID())) {
+			continue
+		}
+		others := make([]geom.Point, 0, len(active)-1)
+		for j, p := range active {
+			if j != i {
+				others = append(others, p)
+			}
+		}
+		pos, accepted, err := s.selector.Replace(tg.Position(), s.candidates, others)
+		if err != nil {
+			if errors.Is(err, mac.ErrNoCandidates) {
+				continue // pool exhausted near this tag; keep it
+			}
+			return moved, err
+		}
+		if accepted {
+			tg.MoveTo(pos)
+			active[i] = pos
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// positions snapshots the current tag positions.
+func (s *System) positions() []geom.Point {
+	tags := s.engine.Tags()
+	out := make([]geom.Point, len(tags))
+	for i, tg := range tags {
+		out[i] = tg.Position()
+	}
+	return out
+}
+
+// DeploymentStudy runs the Fig. 10 experiment: `groups` random placements,
+// each measured under three configurations — no control, power control, and
+// power control plus node selection — returning the per-group FER samples
+// for CDF plotting.
+func DeploymentStudy(base sim.Scenario, groups int) (none, pc, pcns []float64, err error) {
+	if groups <= 0 {
+		return nil, nil, nil, fmt.Errorf("%w: groups must be positive", ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(base.Seed + 555))
+	minSep := geom.Wavelength(2e9) / 2
+	// Deterministic placement draws up front, then independent groups run
+	// in parallel (see sim.RunParallel).
+	scns := make([]sim.Scenario, groups)
+	for g := 0; g < groups; g++ {
+		scn := base
+		scn.Deployment = geom.NewDeployment(0.5)
+		// Table-sized placement region; see sim.randomPlacementScenario.
+		scn.Deployment.Room = geom.Room{Width: 2.4, Height: 1.6}
+		if err := scn.Deployment.PlaceTagsRandom(rng, scn.NumTags, minSep); err != nil {
+			return nil, nil, nil, err
+		}
+		scn.Seed = base.Seed + int64(g)*1009
+		scn.RandomInitialImpedance = true
+		scns[g] = scn
+	}
+	none = make([]float64, groups)
+	pc = make([]float64, groups)
+	pcns = make([]float64, groups)
+	runOne := func(scn sim.Scenario, nodeSelection bool) (float64, error) {
+		sys, err := New(Config{Scenario: scn, NodeSelection: nodeSelection})
+		if err != nil {
+			return 0, err
+		}
+		rep, err := sys.Run()
+		if err != nil {
+			return 0, err
+		}
+		return rep.Final.FER, nil
+	}
+	err = sim.RunParallel(groups, func(g int) error {
+		scn := scns[g]
+		scn.PowerControl = false
+		v, err := runOne(scn, false)
+		if err != nil {
+			return err
+		}
+		none[g] = v
+		scn.PowerControl = true
+		if v, err = runOne(scn, false); err != nil {
+			return err
+		}
+		pc[g] = v
+		if v, err = runOne(scn, true); err != nil {
+			return err
+		}
+		pcns[g] = v
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return none, pc, pcns, nil
+}

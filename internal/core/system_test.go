@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cbma/internal/geom"
+	"cbma/internal/sim"
+)
+
+func testScenario() sim.Scenario {
+	scn := sim.DefaultScenario()
+	scn.PayloadBytes = 8
+	scn.Packets = 20
+	return scn
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := Config{Scenario: testScenario(), SelectionRounds: -1}
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+	bad := testScenario()
+	bad.NumTags = 0
+	if _, err := New(Config{Scenario: bad}); err == nil {
+		t.Fatal("invalid scenario must fail")
+	}
+}
+
+func TestRunWithoutSelection(t *testing.T) {
+	sys, err := New(Config{Scenario: testScenario()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Initial, rep.Final) {
+		t.Error("without node selection, Initial and Final must match")
+	}
+	if rep.Replacements != 0 || rep.SelectionRounds != 0 {
+		t.Errorf("unexpected selection activity: %+v", rep)
+	}
+	if len(rep.FinalPositions) != 2 {
+		t.Errorf("positions %v", rep.FinalPositions)
+	}
+}
+
+func TestRunWithSelectionMovesBadTags(t *testing.T) {
+	scn := testScenario()
+	scn.NumTags = 2
+	// Put one tag in a hopeless corner so its ACK ratio stays bad.
+	scn.Deployment = geom.NewDeployment(0.5)
+	scn.Deployment.Tags = []geom.Point{{X: 0, Y: 0.5}, {X: -2.9, Y: 1.9}}
+	scn.Packets = 30
+	if testing.Short() {
+		scn.Packets = 10
+	}
+	sys, err := New(Config{Scenario: scn, NodeSelection: true, CandidatePositions: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replacements == 0 {
+		t.Fatal("the corner tag should have been replaced")
+	}
+	if rep.Final.FER > rep.Initial.FER {
+		t.Errorf("selection made things worse: initial %v, final %v",
+			rep.Initial.FER, rep.Final.FER)
+	}
+	moved := rep.FinalPositions[1]
+	if moved == (geom.Point{X: -2.9, Y: 1.9}) {
+		t.Error("bad tag position unchanged")
+	}
+}
+
+func TestRunSelectionStopsWhenAllGood(t *testing.T) {
+	scn := testScenario() // easy 1 m line placement: everyone is good
+	sys, err := New(Config{Scenario: scn, NodeSelection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replacements != 0 {
+		t.Errorf("no tag should be replaced in the easy case: %+v", rep)
+	}
+}
+
+func TestDeploymentStudyShapes(t *testing.T) {
+	scn := testScenario()
+	scn.NumTags = 3
+	scn.Packets = 16
+	groups := 4
+	if testing.Short() {
+		groups = 2
+	}
+	none, pc, pcns, err := DeploymentStudy(scn, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != groups || len(pc) != groups || len(pcns) != groups {
+		t.Fatalf("sample counts %d/%d/%d", len(none), len(pc), len(pcns))
+	}
+	for i := range none {
+		for _, v := range []float64{none[i], pc[i], pcns[i]} {
+			if v < 0 || v > 1 {
+				t.Errorf("group %d FER %v out of range", i, v)
+			}
+		}
+	}
+}
+
+func TestDeploymentStudyValidation(t *testing.T) {
+	if _, _, _, err := DeploymentStudy(testScenario(), 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestEngineAccessor(t *testing.T) {
+	sys, err := New(Config{Scenario: testScenario()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Engine() == nil {
+		t.Fatal("engine accessor returned nil")
+	}
+	if len(sys.Engine().Tags()) != 2 {
+		t.Errorf("tag count %d", len(sys.Engine().Tags()))
+	}
+}

@@ -1,0 +1,159 @@
+package dsp
+
+import "math"
+
+// CrossCorrelate computes the sliding cross-correlation of x against the
+// template t for every lag where the template fits entirely inside x:
+//
+//	out[k] = Σ_i x[k+i] · conj(t[i]),  k = 0 … len(x)-len(t)
+//
+// It returns nil when the template is longer than the input. This is the
+// primitive behind both user detection (preamble vs. PN code) and chip
+// decoding in the CBMA receiver.
+func CrossCorrelate(x, t []complex128) []complex128 {
+	n, m := len(x), len(t)
+	if m == 0 || m > n {
+		return nil
+	}
+	out := make([]complex128, n-m+1)
+	for k := range out {
+		var acc complex128
+		for i := 0; i < m; i++ {
+			s := t[i]
+			acc += x[k+i] * complex(real(s), -imag(s))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// CrossCorrelateReal is CrossCorrelate for real-valued vectors. PN chip
+// templates are real (±1 or 0/1), so the decoder's inner loops use this
+// cheaper form against the received magnitude envelope.
+func CrossCorrelateReal(x, t []float64) []float64 {
+	n, m := len(x), len(t)
+	if m == 0 || m > n {
+		return nil
+	}
+	out := make([]float64, n-m+1)
+	for k := range out {
+		var acc float64
+		for i := 0; i < m; i++ {
+			acc += x[k+i] * t[i]
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// NormalizedCorrelation returns the normalized correlation coefficient
+// |Σ x·conj(t)| / (‖x‖·‖t‖) between equal-length vectors, in [0, 1].
+// A zero vector on either side yields 0.
+func NormalizedCorrelation(x, t []complex128) (float64, error) {
+	if len(x) != len(t) {
+		return 0, ErrLengthMismatch
+	}
+	dot, err := DotConj(x, t)
+	if err != nil {
+		return 0, err
+	}
+	ex, et := Energy(x), Energy(t)
+	if ex == 0 || et == 0 {
+		return 0, nil
+	}
+	mag := math.Hypot(real(dot), imag(dot))
+	return mag / math.Sqrt(ex*et), nil
+}
+
+// NormalizedCorrelationReal is NormalizedCorrelation for real vectors, in
+// [-1, 1] (sign preserved).
+func NormalizedCorrelationReal(x, t []float64) (float64, error) {
+	if len(x) != len(t) {
+		return 0, ErrLengthMismatch
+	}
+	dot, err := DotReal(x, t)
+	if err != nil {
+		return 0, err
+	}
+	var ex, et float64
+	for i := range x {
+		ex += x[i] * x[i]
+		et += t[i] * t[i]
+	}
+	if ex == 0 || et == 0 {
+		return 0, nil
+	}
+	return dot / math.Sqrt(ex*et), nil
+}
+
+// PeakLag slides template t across x and returns the lag with the largest
+// correlation magnitude together with that magnitude. It is used for frame
+// alignment refinement after coarse energy detection.
+func PeakLag(x, t []complex128) (lag int, peak float64, err error) {
+	corr := CrossCorrelate(x, t)
+	if corr == nil {
+		return 0, 0, ErrEmptyInput
+	}
+	mags := Magnitude(corr)
+	lag, peak, err = ArgMaxFloat(mags)
+	return lag, peak, err
+}
+
+// PeakLagReal is PeakLag over real vectors, comparing absolute correlation.
+func PeakLagReal(x, t []float64) (lag int, peak float64, err error) {
+	corr := CrossCorrelateReal(x, t)
+	if corr == nil {
+		return 0, 0, ErrEmptyInput
+	}
+	abs := make([]float64, len(corr))
+	for i, v := range corr {
+		abs[i] = math.Abs(v)
+	}
+	lag, peak, err = ArgMaxFloat(abs)
+	return lag, peak, err
+}
+
+// AutoCorrelation returns the circular autocorrelation of the real sequence
+// x at every lag 0 … len(x)-1:
+//
+//	out[k] = Σ_i x[i]·x[(i+k) mod n]
+//
+// PN-sequence quality analysis relies on this.
+func AutoCorrelation(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			j := i + k
+			if j >= n {
+				j -= n
+			}
+			acc += x[i] * x[j]
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// CircularCrossCorrelation returns the circular cross-correlation of two
+// equal-length real sequences at every lag.
+func CircularCrossCorrelation(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, ErrLengthMismatch
+	}
+	n := len(a)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			j := i + k
+			if j >= n {
+				j -= n
+			}
+			acc += a[i] * b[j]
+		}
+		out[k] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,267 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossCorrelateKnown(t *testing.T) {
+	x := []complex128{0, 0, 1, 1, 0}
+	tmpl := []complex128{1, 1}
+	got := CrossCorrelate(x, tmpl)
+	want := []complex128{0, 1, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lag %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCrossCorrelateTemplateTooLong(t *testing.T) {
+	if got := CrossCorrelate(make([]complex128, 2), make([]complex128, 3)); got != nil {
+		t.Fatal("want nil for template longer than input")
+	}
+	if got := CrossCorrelate(make([]complex128, 2), nil); got != nil {
+		t.Fatal("want nil for empty template")
+	}
+}
+
+func TestCrossCorrelateRealMatchesComplex(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	xr := make([]float64, 100)
+	tr := make([]float64, 16)
+	for i := range xr {
+		xr[i] = r.NormFloat64()
+	}
+	for i := range tr {
+		tr[i] = r.NormFloat64()
+	}
+	xc := make([]complex128, len(xr))
+	tc := make([]complex128, len(tr))
+	for i := range xr {
+		xc[i] = complex(xr[i], 0)
+	}
+	for i := range tr {
+		tc[i] = complex(tr[i], 0)
+	}
+	gr := CrossCorrelateReal(xr, tr)
+	gc := CrossCorrelate(xc, tc)
+	for i := range gr {
+		if !almostEqual(gr[i], real(gc[i]), 1e-9) {
+			t.Fatalf("lag %d: real %v vs complex %v", i, gr[i], gc[i])
+		}
+	}
+}
+
+func TestNormalizedCorrelationSelf(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	x := randomVector(r, 50)
+	c, err := NormalizedCorrelation(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-9) {
+		t.Errorf("self-correlation = %v, want 1", c)
+	}
+}
+
+func TestNormalizedCorrelationScaleInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	x := randomVector(r, 50)
+	y := Scale(x, 3.7i)
+	c, err := NormalizedCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-9) {
+		t.Errorf("scaled copy correlation = %v, want 1", c)
+	}
+}
+
+func TestNormalizedCorrelationOrthogonal(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	y := []complex128{1, -1, 1, -1}
+	c, err := NormalizedCorrelation(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 0, 1e-12) {
+		t.Errorf("orthogonal correlation = %v, want 0", c)
+	}
+}
+
+func TestNormalizedCorrelationZeroVector(t *testing.T) {
+	z := make([]complex128, 4)
+	x := []complex128{1, 2, 3, 4}
+	c, err := NormalizedCorrelation(x, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("zero-vector correlation = %v, want 0", c)
+	}
+}
+
+func TestNormalizedCorrelationRealBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(60)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		c, err := NormalizedCorrelationReal(a, b)
+		if err != nil {
+			return false
+		}
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakLagFindsEmbeddedTemplate(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	tmpl := randomVector(r, 31)
+	x := make([]complex128, 200)
+	for i := range x {
+		x[i] = complex(0.05*r.NormFloat64(), 0.05*r.NormFloat64())
+	}
+	const at = 77
+	for i, v := range tmpl {
+		x[at+i] += v
+	}
+	lag, peak, err := PeakLag(x, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != at {
+		t.Errorf("PeakLag = %d, want %d", lag, at)
+	}
+	if peak <= 0 {
+		t.Errorf("peak = %v, want > 0", peak)
+	}
+}
+
+func TestPeakLagRealFindsNegativeTemplate(t *testing.T) {
+	// PeakLagReal compares |corr|, so an inverted template still aligns.
+	tmpl := []float64{1, -1, 1, 1, -1}
+	x := make([]float64, 40)
+	const at = 13
+	for i, v := range tmpl {
+		x[at+i] = -v
+	}
+	lag, _, err := PeakLagReal(x, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != at {
+		t.Errorf("PeakLagReal = %d, want %d", lag, at)
+	}
+}
+
+func TestPeakLagEmpty(t *testing.T) {
+	if _, _, err := PeakLag(nil, []complex128{1}); err == nil {
+		t.Fatal("want error on empty input")
+	}
+}
+
+func TestAutoCorrelationZeroLagIsEnergy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		x := make([]float64, n)
+		var energy float64
+		for i := range x {
+			x[i] = r.NormFloat64()
+			energy += x[i] * x[i]
+		}
+		ac := AutoCorrelation(x)
+		return almostEqual(ac[0], energy, 1e-9*(1+energy))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutoCorrelationSymmetry(t *testing.T) {
+	// Circular autocorrelation of a real sequence satisfies ac[k] == ac[n-k].
+	r := rand.New(rand.NewSource(25))
+	x := make([]float64, 17)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	ac := AutoCorrelation(x)
+	for k := 1; k < len(x); k++ {
+		if !almostEqual(ac[k], ac[len(x)-k], 1e-9) {
+			t.Fatalf("ac[%d]=%v != ac[%d]=%v", k, ac[k], len(x)-k, ac[len(x)-k])
+		}
+	}
+}
+
+func TestCircularCrossCorrelation(t *testing.T) {
+	a := []float64{1, 0, 0, 0}
+	b := []float64{0, 1, 0, 0}
+	got, err := CircularCrossCorrelation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a correlates with b at lag 1: Σ a[i]·b[i+1] peaks when shift aligns.
+	want := []float64{0, 1, 0, 0}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("lag %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := CircularCrossCorrelation(a, b[:2]); err != ErrLengthMismatch {
+		t.Errorf("got err %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestCrossCorrelateShiftProperty(t *testing.T) {
+	// Correlating a shifted copy of the template peaks exactly at the shift.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 8 + r.Intn(24)
+		shift := r.Intn(50)
+		tmpl := randomVector(r, m)
+		x := make([]complex128, shift+m+20)
+		for i, v := range tmpl {
+			x[shift+i] = v
+		}
+		lag, _, err := PeakLag(x, tmpl)
+		return err == nil && lag == shift
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoertzelZeroInput(t *testing.T) {
+	if got := Goertzel(nil, 0.1); got != 0 {
+		t.Errorf("Goertzel(nil) = %v", got)
+	}
+	if got := GoertzelComplex(nil, 0.1); got != 0 {
+		t.Errorf("GoertzelComplex(nil) = %v", got)
+	}
+}
+
+func TestToneSNRDetectsTone(t *testing.T) {
+	x := Tone(256, 0.125, 0)
+	snr := ToneSNR(x, 0.125, []float64{0.3, 0.4, 0.45})
+	if snr < 20 {
+		t.Errorf("ToneSNR = %v dB, want strong detection (>20 dB)", snr)
+	}
+	if got := ToneSNR(x, 0.125, nil); !math.IsInf(got, 1) {
+		t.Errorf("no probes should yield +Inf, got %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo is returned by FFT when the input length is not a power
+// of two.
+var ErrNotPowerOfTwo = errors.New("dsp: FFT length must be a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two ≥ n (minimum 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// FFT computes the in-order decimation-in-time radix-2 FFT of x. The input
+// length must be a power of two; the input is not modified.
+func FFT(x []complex128) ([]complex128, error) {
+	return fft(x, false)
+}
+
+// IFFT computes the inverse FFT of x (including the 1/N scaling).
+func IFFT(x []complex128) ([]complex128, error) {
+	return fft(x, true)
+}
+
+func fft(x []complex128, inverse bool) ([]complex128, error) {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return nil, ErrNotPowerOfTwo
+	}
+	out := make([]complex128, n)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		out[0] = x[0]
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		out[bits.Reverse64(uint64(i))>>shift] = x[i]
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := 2 * math.Pi / float64(size) * sign
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out, nil
+}
+
+// FFTCorrelate computes the same result as CrossCorrelate(x, t) using the
+// frequency domain, which is asymptotically faster for long templates. It
+// zero-pads both operands to a power of two ≥ len(x)+len(t)-1.
+func FFTCorrelate(x, t []complex128) ([]complex128, error) {
+	n, m := len(x), len(t)
+	if m == 0 || m > n {
+		return nil, ErrEmptyInput
+	}
+	size := NextPowerOfTwo(n + m - 1)
+	xp := make([]complex128, size)
+	copy(xp, x)
+	tp := make([]complex128, size)
+	copy(tp, t)
+	xf, err := FFT(xp)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := FFT(tp)
+	if err != nil {
+		return nil, err
+	}
+	for i := range xf {
+		xf[i] *= cmplx.Conj(tf[i])
+	}
+	prod, err := IFFT(xf)
+	if err != nil {
+		return nil, err
+	}
+	// Correlation at lag k is the k-th element of the circular result;
+	// valid lags are 0 … n-m.
+	out := make([]complex128, n-m+1)
+	copy(out, prod[:n-m+1])
+	return out, nil
+}
+
+// PowerSpectrum returns |FFT(x)|² normalized by the vector length, a
+// convenience for the spectrum-inspection tooling.
+func PowerSpectrum(x []complex128) ([]float64, error) {
+	f, err := FFT(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(f))
+	inv := 1 / float64(len(f))
+	for i := range f {
+		re, im := real(f[i]), imag(f[i])
+		out[i] = (re*re + im*im) * inv
+	}
+	return out, nil
+}

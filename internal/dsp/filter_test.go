@@ -1,0 +1,158 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	x := []float64{3, 1, 4, 1, 5}
+	got := MovingAverage(x, 1)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("w=1 must be identity; sample %d = %v", i, got[i])
+		}
+	}
+}
+
+func TestMovingAverageKnown(t *testing.T) {
+	x := []float64{2, 4, 6, 8}
+	got := MovingAverage(x, 2)
+	want := []float64{2, 3, 5, 7}
+	for i := range want {
+		if !almostEqual(got[i], want[i], floatTol) {
+			t.Errorf("sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMovingAverageConstantInput(t *testing.T) {
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 7.5
+	}
+	got := MovingAverage(x, 8)
+	for i, v := range got {
+		if !almostEqual(v, 7.5, floatTol) {
+			t.Fatalf("constant input must stay constant; sample %d = %v", i, v)
+		}
+	}
+}
+
+func TestMovingAverageSmoothsStep(t *testing.T) {
+	// A step from 0 to 1 should ramp over exactly w samples.
+	x := make([]float64, 40)
+	for i := 20; i < 40; i++ {
+		x[i] = 1
+	}
+	const w = 10
+	got := MovingAverage(x, w)
+	if got[19] != 0 {
+		t.Errorf("before step: %v, want 0", got[19])
+	}
+	if !almostEqual(got[20], 1.0/w, floatTol) {
+		t.Errorf("first step sample: %v, want %v", got[20], 1.0/w)
+	}
+	if !almostEqual(got[29], 1, floatTol) {
+		t.Errorf("after w samples: %v, want 1", got[29])
+	}
+}
+
+func TestMovingAveragerMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		w := 1 + r.Intn(12)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		batch := MovingAverage(x, w)
+		m := NewMovingAverager(w)
+		for i, v := range x {
+			if got := m.Push(v); !almostEqual(got, batch[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAveragerReset(t *testing.T) {
+	m := NewMovingAverager(4)
+	m.Push(100)
+	m.Push(200)
+	m.Reset()
+	if got := m.Push(6); got != 6 {
+		t.Errorf("after Reset first Push = %v, want 6", got)
+	}
+}
+
+func TestNewMovingAveragerClampsWindow(t *testing.T) {
+	m := NewMovingAverager(0)
+	if got := m.Push(3); got != 3 {
+		t.Errorf("clamped window: got %v, want 3", got)
+	}
+}
+
+func TestFIRIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	x := randomVector(r, 32)
+	got := FIR(x, []float64{1})
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("identity FIR changed sample %d", i)
+		}
+	}
+}
+
+func TestFIRDelay(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	got := FIR(x, []float64{0, 1}) // one-sample delay
+	want := []complex128{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBoxcarTapsSumToOne(t *testing.T) {
+	for _, n := range []int{1, 3, 10, 0, -2} {
+		taps := BoxcarTaps(n)
+		var sum float64
+		for _, h := range taps {
+			sum += h
+		}
+		if !almostEqual(sum, 1, floatTol) {
+			t.Errorf("n=%d: taps sum %v, want 1", n, sum)
+		}
+	}
+}
+
+func TestDCBlockRemovesMean(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	x := randomVector(r, 64)
+	for i := range x {
+		x[i] += 5 + 2i // strong DC leakage
+	}
+	y := DCBlock(x)
+	var mean complex128
+	for _, v := range y {
+		mean += v
+	}
+	mean /= complex(float64(len(y)), 0)
+	if !complexAlmostEqual(mean, 0, 1e-9) {
+		t.Errorf("residual mean %v, want 0", mean)
+	}
+}
+
+func TestDCBlockEmpty(t *testing.T) {
+	if got := DCBlock(nil); got != nil {
+		t.Errorf("DCBlock(nil) = %v, want nil", got)
+	}
+}

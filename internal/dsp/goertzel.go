@@ -1,0 +1,57 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates the power of the single DFT bin at normalized frequency
+// f (cycles per sample) over the real sequence x. It is the classic
+// single-tone detector: O(n) instead of a full FFT, matching what a
+// resource-constrained receiver would run to detect the backscatter
+// subcarrier.
+func Goertzel(x []float64, f float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	coeff := 2 * math.Cos(2*math.Pi*f)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Power of the bin.
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}
+
+// GoertzelComplex runs the Goertzel detector independently on the I and Q
+// rails of a complex sequence and sums the bin powers.
+func GoertzelComplex(x []complex128, f float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	re := make([]float64, len(x))
+	im := make([]float64, len(x))
+	for i := range x {
+		re[i] = real(x[i])
+		im[i] = imag(x[i])
+	}
+	return Goertzel(re, f) + Goertzel(im, f)
+}
+
+// ToneSNR estimates the ratio (in dB) of the Goertzel bin power at f to the
+// average bin power across the supplied probe frequencies, a cheap
+// subcarrier-presence metric used by diagnostics tooling.
+func ToneSNR(x []complex128, f float64, probes []float64) float64 {
+	sig := GoertzelComplex(x, f)
+	if len(probes) == 0 {
+		return math.Inf(1)
+	}
+	var bg float64
+	for _, p := range probes {
+		bg += GoertzelComplex(x, p)
+	}
+	bg /= float64(len(probes))
+	if bg == 0 {
+		return math.Inf(1)
+	}
+	return DB(sig / bg)
+}

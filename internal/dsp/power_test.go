@@ -1,0 +1,103 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBKnownValues(t *testing.T) {
+	tests := []struct {
+		ratio float64
+		want  float64
+	}{
+		{1, 0}, {10, 10}, {100, 20}, {0.1, -10}, {2, 3.0102999566},
+	}
+	for _, tc := range tests {
+		if got := DB(tc.ratio); !almostEqual(got, tc.want, 1e-6) {
+			t.Errorf("DB(%v) = %v, want %v", tc.ratio, got, tc.want)
+		}
+	}
+}
+
+func TestDBNonPositive(t *testing.T) {
+	if got := DB(0); !math.IsInf(got, -1) {
+		t.Errorf("DB(0) = %v, want -Inf", got)
+	}
+	if got := DB(-5); !math.IsInf(got, -1) {
+		t.Errorf("DB(-5) = %v, want -Inf", got)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		if math.IsNaN(db) || math.IsInf(db, 0) {
+			return true
+		}
+		db = math.Mod(db, 200) // keep within float range
+		return almostEqual(DB(FromDB(db)), db, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	for _, dbm := range []float64{-90, -30, 0, 20} {
+		w := FromDBm(dbm)
+		if got := DBm(w); !almostEqual(got, dbm, 1e-9) {
+			t.Errorf("DBm(FromDBm(%v)) = %v", dbm, got)
+		}
+	}
+	// 0 dBm is one milliwatt.
+	if got := FromDBm(0); !almostEqual(got, 1e-3, 1e-12) {
+		t.Errorf("FromDBm(0) = %v, want 1e-3", got)
+	}
+}
+
+func TestAmplitudeForPower(t *testing.T) {
+	if got := AmplitudeForPower(4); !almostEqual(got, 2, floatTol) {
+		t.Errorf("AmplitudeForPower(4) = %v, want 2", got)
+	}
+	if got := AmplitudeForPower(-1); got != 0 {
+		t.Errorf("AmplitudeForPower(-1) = %v, want 0", got)
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	// total = signal + noise; with signal = 9·noise, SNR ≈ 9.54 dB.
+	got := SNRdB(10, 1)
+	if !almostEqual(got, DB(9), 1e-9) {
+		t.Errorf("SNRdB(10,1) = %v, want %v", got, DB(9))
+	}
+	if got := SNRdB(0.5, 1); !math.IsInf(got, -1) {
+		t.Errorf("below noise floor: %v, want -Inf", got)
+	}
+	if got := SNRdB(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero noise: %v, want +Inf", got)
+	}
+}
+
+func TestNoisePowerFromDensity(t *testing.T) {
+	if got := NoisePowerFromDensity(2e-21, 1e6); !almostEqual(got, 2e-15, 1e-27) {
+		t.Errorf("got %v", got)
+	}
+	if got := NoisePowerFromDensity(-1, 10); got != 0 {
+		t.Errorf("negative density: %v, want 0", got)
+	}
+}
+
+func TestThermalNoiseDBm(t *testing.T) {
+	// 1 Hz, 0 dB NF → -174 dBm.
+	if got := ThermalNoiseDBm(1, 0); !almostEqual(got, -174, 1e-9) {
+		t.Errorf("1 Hz floor = %v, want -174", got)
+	}
+	// 20 MHz WiFi channel, 6 dB NF → ≈ -95 dBm.
+	got := ThermalNoiseDBm(20e6, 6)
+	if !almostEqual(got, -94.99, 0.02) {
+		t.Errorf("20 MHz floor = %v, want ≈ -95", got)
+	}
+	if got := ThermalNoiseDBm(0, 0); !math.IsInf(got, -1) {
+		t.Errorf("zero bandwidth: %v, want -Inf", got)
+	}
+}

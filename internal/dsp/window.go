@@ -1,0 +1,104 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadWindow is returned for non-positive window lengths or invalid
+// filter specifications.
+var ErrBadWindow = errors.New("dsp: invalid window or filter specification")
+
+// WindowFn names a taper shape.
+type WindowFn int
+
+// Supported window shapes.
+const (
+	WindowRect WindowFn = iota + 1
+	WindowHann
+	WindowHamming
+	WindowBlackman
+)
+
+// Window returns n samples of the requested taper. For n == 1 the window
+// is the single value 1.
+func Window(fn WindowFn, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, ErrBadWindow
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out, nil
+	}
+	den := float64(n - 1)
+	for i := range out {
+		x := float64(i) / den
+		switch fn {
+		case WindowRect:
+			out[i] = 1
+		case WindowHann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case WindowHamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case WindowBlackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		default:
+			return nil, ErrBadWindow
+		}
+	}
+	return out, nil
+}
+
+// LowpassTaps designs a linear-phase FIR low-pass filter by the windowed-
+// sinc method: cutoff is the normalized cutoff frequency (cycles per
+// sample, 0 < cutoff < 0.5), taps the filter length (made odd internally so
+// the filter has a symmetric center), and win the taper that controls
+// stop-band rejection (Hamming ≈ −53 dB, Blackman ≈ −74 dB). The taps are
+// normalized to unit DC gain. Pulse-shaping experiments band-limit the
+// tag's rectangular chips with this.
+func LowpassTaps(cutoff float64, taps int, win WindowFn) ([]float64, error) {
+	if cutoff <= 0 || cutoff >= 0.5 || taps <= 0 {
+		return nil, ErrBadWindow
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	w, err := Window(win, taps)
+	if err != nil {
+		return nil, err
+	}
+	mid := taps / 2
+	h := make([]float64, taps)
+	var sum float64
+	for i := range h {
+		m := float64(i - mid)
+		var s float64
+		if m == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*m) / (math.Pi * m)
+		}
+		h[i] = s * w[i]
+		sum += h[i]
+	}
+	if sum == 0 {
+		return nil, ErrBadWindow
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return h, nil
+}
+
+// FrequencyResponseDB evaluates the magnitude response of a real FIR filter
+// at normalized frequency f (cycles per sample), in dB.
+func FrequencyResponseDB(h []float64, f float64) float64 {
+	var re, im float64
+	for n, tap := range h {
+		theta := -2 * math.Pi * f * float64(n)
+		re += tap * math.Cos(theta)
+		im += tap * math.Sin(theta)
+	}
+	return DB(re*re + im*im)
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := Window(WindowHann, 0); err != ErrBadWindow {
+		t.Fatalf("got %v, want ErrBadWindow", err)
+	}
+	if _, err := Window(WindowFn(99), 8); err != ErrBadWindow {
+		t.Fatalf("unknown window: got %v", err)
+	}
+	w, err := Window(WindowHamming, 1)
+	if err != nil || w[0] != 1 {
+		t.Fatalf("n=1 window: %v %v", w, err)
+	}
+}
+
+func TestWindowShapes(t *testing.T) {
+	for _, fn := range []WindowFn{WindowRect, WindowHann, WindowHamming, WindowBlackman} {
+		w, err := Window(fn, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Symmetry.
+		for i := range w {
+			if !almostEqual(w[i], w[len(w)-1-i], 1e-12) {
+				t.Fatalf("window %d not symmetric at %d", fn, i)
+			}
+		}
+		// Peak at the center, bounded by 1.
+		mid := len(w) / 2
+		for i, v := range w {
+			if v > w[mid]+1e-12 || v < -1e-12 {
+				t.Fatalf("window %d sample %d = %v out of range", fn, i, v)
+			}
+		}
+	}
+	// Hann endpoints are zero; Hamming endpoints are 0.08.
+	hann, _ := Window(WindowHann, 17)
+	if !almostEqual(hann[0], 0, 1e-12) {
+		t.Errorf("Hann endpoint %v", hann[0])
+	}
+	hamming, _ := Window(WindowHamming, 17)
+	if !almostEqual(hamming[0], 0.08, 1e-12) {
+		t.Errorf("Hamming endpoint %v", hamming[0])
+	}
+}
+
+func TestLowpassTapsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		c float64
+		n int
+	}{{0, 11}, {0.5, 11}, {0.2, 0}} {
+		if _, err := LowpassTaps(tc.c, tc.n, WindowHamming); err != ErrBadWindow {
+			t.Errorf("cutoff=%v taps=%d: got %v", tc.c, tc.n, err)
+		}
+	}
+}
+
+func TestLowpassTapsUnitDCGain(t *testing.T) {
+	h, err := LowpassTaps(0.1, 41, WindowHamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tap := range h {
+		sum += tap
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Errorf("DC gain %v, want 1", sum)
+	}
+	if got := FrequencyResponseDB(h, 0); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("response at DC %v dB, want 0", got)
+	}
+}
+
+func TestLowpassTapsEvenLengthRoundsUp(t *testing.T) {
+	h, err := LowpassTaps(0.1, 40, WindowHann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h)%2 != 1 {
+		t.Errorf("tap count %d, want odd", len(h))
+	}
+}
+
+func TestLowpassStopbandRejection(t *testing.T) {
+	// A 63-tap Hamming-windowed design at cutoff 0.1 must pass 0.05 nearly
+	// untouched and crush 0.25 by at least 40 dB.
+	h, err := LowpassTaps(0.1, 63, WindowHamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := FrequencyResponseDB(h, 0.05)
+	stop := FrequencyResponseDB(h, 0.25)
+	if math.Abs(pass) > 1 {
+		t.Errorf("passband ripple %v dB", pass)
+	}
+	if stop > -40 {
+		t.Errorf("stopband rejection only %v dB", stop)
+	}
+}
+
+func TestBlackmanBeatsHammingInStopband(t *testing.T) {
+	hHam, _ := LowpassTaps(0.1, 63, WindowHamming)
+	hBlk, _ := LowpassTaps(0.1, 63, WindowBlackman)
+	if FrequencyResponseDB(hBlk, 0.3) >= FrequencyResponseDB(hHam, 0.3) {
+		t.Error("Blackman window should reject the deep stopband harder")
+	}
+}

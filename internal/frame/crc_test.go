@@ -1,0 +1,57 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnownVectors(t *testing.T) {
+	// CRC-16/CCITT-FALSE reference vectors.
+	tests := []struct {
+		in   string
+		want uint16
+	}{
+		{"", 0xFFFF},
+		{"123456789", 0x29B1},
+		{"A", 0xB915},
+	}
+	for _, tc := range tests {
+		if got := Checksum([]byte(tc.in)); got != tc.want {
+			t.Errorf("Checksum(%q) = %#04x, want %#04x", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestChecksumDetectsSingleBitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	data := make([]byte, 64)
+	r.Read(data)
+	orig := Checksum(data)
+	for byteIdx := range data {
+		for bit := 0; bit < 8; bit++ {
+			data[byteIdx] ^= 1 << bit
+			if Checksum(data) == orig {
+				t.Fatalf("single-bit flip at byte %d bit %d undetected", byteIdx, bit)
+			}
+			data[byteIdx] ^= 1 << bit
+		}
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum(data) == Checksum(append([]byte(nil), data...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumOrderSensitivity(t *testing.T) {
+	a := Checksum([]byte{1, 2})
+	b := Checksum([]byte{2, 1})
+	if a == b {
+		t.Error("CRC must be order sensitive for these inputs")
+	}
+}

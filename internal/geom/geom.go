@@ -1,0 +1,151 @@
+// Package geom models the planar deployment geometry of the CBMA testbed
+// (Fig. 3 of the paper): a coordinate system with the excitation source at
+// (−D, 0) and the receiver at (+D, 0), tags placed in a rectangular room,
+// and placement utilities with minimum-separation constraints (the paper
+// excludes tags closer than half a wavelength, §VII-C1).
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Room is an axis-aligned rectangular deployment area.
+type Room struct {
+	// Width is the X extent in meters, Height the Y extent. The room is
+	// centered on the origin to match the paper's coordinate system.
+	Width, Height float64
+}
+
+// DefaultRoom is the paper's 4 m × 6 m office (§VII-A).
+func DefaultRoom() Room { return Room{Width: 6, Height: 4} }
+
+// Contains reports whether p lies inside the room.
+func (r Room) Contains(p Point) bool {
+	return math.Abs(p.X) <= r.Width/2 && math.Abs(p.Y) <= r.Height/2
+}
+
+// RandomPoint draws a uniformly distributed point inside the room.
+func (r Room) RandomPoint(rng *rand.Rand) Point {
+	return Point{
+		X: (rng.Float64() - 0.5) * r.Width,
+		Y: (rng.Float64() - 0.5) * r.Height,
+	}
+}
+
+// Deployment is a concrete placement of the excitation source, receiver and
+// tags.
+type Deployment struct {
+	Room Room
+	// ES and RX are the excitation source and receiver positions; the
+	// paper uses (−D, 0) and (+D, 0) with D = 50 cm.
+	ES, RX Point
+	// Tags holds one position per tag.
+	Tags []Point
+}
+
+// ErrNoPlacement is returned when a placement satisfying the separation
+// constraints cannot be found.
+var ErrNoPlacement = errors.New("geom: cannot satisfy placement constraints")
+
+// NewDeployment returns the paper's canonical geometry: ES at (−d, 0), RX
+// at (+d, 0) inside the default room, with no tags placed yet.
+func NewDeployment(d float64) Deployment {
+	return Deployment{
+		Room: DefaultRoom(),
+		ES:   Point{X: -d},
+		RX:   Point{X: d},
+	}
+}
+
+// PlaceTagsRandom places n tags uniformly at random inside the room such
+// that every pair of tags is at least minSep meters apart and every tag is
+// at least minSep from both ES and RX. It retries up to maxTries draws per
+// tag before giving up with ErrNoPlacement.
+func (d *Deployment) PlaceTagsRandom(rng *rand.Rand, n int, minSep float64) error {
+	const maxTries = 1000
+	tags := make([]Point, 0, n)
+	for len(tags) < n {
+		placed := false
+		for try := 0; try < maxTries; try++ {
+			p := d.Room.RandomPoint(rng)
+			if p.Distance(d.ES) < minSep || p.Distance(d.RX) < minSep {
+				continue
+			}
+			ok := true
+			for _, q := range tags {
+				if p.Distance(q) < minSep {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tags = append(tags, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("%w: placed %d of %d tags (minSep %.2f m)",
+				ErrNoPlacement, len(tags), n, minSep)
+		}
+	}
+	d.Tags = tags
+	return nil
+}
+
+// PlaceTagsLine places n tags on the Y axis offset line x = atX, evenly
+// spread between y = −span/2 and +span/2. Deterministic placements are used
+// by the micro-benchmarks that sweep a single distance.
+func (d *Deployment) PlaceTagsLine(n int, atX, span float64) {
+	tags := make([]Point, n)
+	for i := range tags {
+		frac := 0.5
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		tags[i] = Point{X: atX, Y: (frac - 0.5) * span}
+	}
+	d.Tags = tags
+}
+
+// Wavelength returns c/f in meters for carrier frequency f in Hz.
+func Wavelength(freqHz float64) float64 {
+	const c = 299_792_458.0
+	if freqHz <= 0 {
+		return math.Inf(1)
+	}
+	return c / freqHz
+}
+
+// MinPairDistance returns the smallest pairwise distance among the points,
+// or +Inf for fewer than two points.
+func MinPairDistance(pts []Point) float64 {
+	min := math.Inf(1)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Distance(pts[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistance(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Distance(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%v.Distance(%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPointDistanceSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) ||
+			math.IsInf(ax, 0) || math.IsInf(ay, 0) || math.IsInf(bx, 0) || math.IsInf(by, 0) {
+			return true
+		}
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Distance(b) == b.Distance(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointAddAndString(t *testing.T) {
+	p := Point{1, 2}.Add(Point{3, -1})
+	if p.X != 4 || p.Y != 1 {
+		t.Errorf("Add = %v", p)
+	}
+	if got := (Point{1.234, -5.6}).String(); got != "(1.23, -5.60)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDefaultRoomMatchesPaper(t *testing.T) {
+	r := DefaultRoom()
+	if r.Width != 6 || r.Height != 4 {
+		t.Errorf("default room %vx%v, want 6x4 (paper §VII-A)", r.Width, r.Height)
+	}
+}
+
+func TestRoomContains(t *testing.T) {
+	r := Room{Width: 6, Height: 4}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{3, 2}) || !r.Contains(Point{-3, -2}) {
+		t.Error("interior/edge points must be contained")
+	}
+	if r.Contains(Point{3.1, 0}) || r.Contains(Point{0, 2.1}) {
+		t.Error("exterior points must not be contained")
+	}
+}
+
+func TestRandomPointStaysInside(t *testing.T) {
+	r := Room{Width: 2, Height: 8}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if p := r.RandomPoint(rng); !r.Contains(p) {
+			t.Fatalf("draw %d left the room: %v", i, p)
+		}
+	}
+}
+
+func TestNewDeploymentGeometry(t *testing.T) {
+	d := NewDeployment(0.5)
+	if d.ES.X != -0.5 || d.RX.X != 0.5 || d.ES.Y != 0 || d.RX.Y != 0 {
+		t.Errorf("ES %v RX %v, want (-0.5,0) and (0.5,0)", d.ES, d.RX)
+	}
+}
+
+func TestPlaceTagsRandomRespectsSeparation(t *testing.T) {
+	d := NewDeployment(0.5)
+	rng := rand.New(rand.NewSource(2))
+	const minSep = 0.3
+	if err := d.PlaceTagsRandom(rng, 10, minSep); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tags) != 10 {
+		t.Fatalf("placed %d tags", len(d.Tags))
+	}
+	if got := MinPairDistance(d.Tags); got < minSep {
+		t.Errorf("min pair distance %v < %v", got, minSep)
+	}
+	for i, p := range d.Tags {
+		if p.Distance(d.ES) < minSep || p.Distance(d.RX) < minSep {
+			t.Errorf("tag %d too close to ES/RX", i)
+		}
+		if !d.Room.Contains(p) {
+			t.Errorf("tag %d outside the room", i)
+		}
+	}
+}
+
+func TestPlaceTagsRandomImpossible(t *testing.T) {
+	d := NewDeployment(0.5)
+	d.Room = Room{Width: 0.2, Height: 0.2}
+	rng := rand.New(rand.NewSource(3))
+	err := d.PlaceTagsRandom(rng, 5, 10 /* impossible separation */)
+	if !errors.Is(err, ErrNoPlacement) {
+		t.Fatalf("got %v, want ErrNoPlacement", err)
+	}
+}
+
+func TestPlaceTagsLine(t *testing.T) {
+	d := NewDeployment(0.5)
+	d.PlaceTagsLine(3, 1.5, 2)
+	if len(d.Tags) != 3 {
+		t.Fatalf("placed %d", len(d.Tags))
+	}
+	for i, p := range d.Tags {
+		if p.X != 1.5 {
+			t.Errorf("tag %d X = %v", i, p.X)
+		}
+	}
+	if d.Tags[0].Y != -1 || d.Tags[1].Y != 0 || d.Tags[2].Y != 1 {
+		t.Errorf("Y spread wrong: %v", d.Tags)
+	}
+	// Single tag centers on the line.
+	d.PlaceTagsLine(1, 2, 4)
+	if d.Tags[0].Y != 0 {
+		t.Errorf("single tag Y = %v, want 0", d.Tags[0].Y)
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	// 2 GHz carrier (paper §VI) → ≈ 15 cm.
+	got := Wavelength(2e9)
+	if math.Abs(got-0.1499) > 0.001 {
+		t.Errorf("Wavelength(2GHz) = %v, want ≈0.15", got)
+	}
+	if !math.IsInf(Wavelength(0), 1) {
+		t.Error("zero frequency must map to +Inf")
+	}
+}
+
+func TestMinPairDistance(t *testing.T) {
+	if got := MinPairDistance(nil); !math.IsInf(got, 1) {
+		t.Errorf("empty: %v", got)
+	}
+	if got := MinPairDistance([]Point{{0, 0}}); !math.IsInf(got, 1) {
+		t.Errorf("single: %v", got)
+	}
+	pts := []Point{{0, 0}, {0, 3}, {0, 1}}
+	if got := MinPairDistance(pts); got != 1 {
+		t.Errorf("got %v, want 1", got)
+	}
+}

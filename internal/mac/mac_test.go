@@ -1,0 +1,377 @@
+package mac
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cbma/internal/channel"
+	"cbma/internal/geom"
+	"cbma/internal/pn"
+	"cbma/internal/tag"
+)
+
+func makeTags(t *testing.T, n int) []*tag.Tag {
+	t.Helper()
+	set, err := pn.NewGoldSet(5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := make([]*tag.Tag, n)
+	for i := range tags {
+		tg, err := tag.New(i, tag.Config{Code: set.Codes[i]}, geom.Point{X: float64(i), Y: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tags[i] = tg
+	}
+	return tags
+}
+
+// feedAcks simulates a measurement round: each tag sends `sent` frames and
+// hears acks per the provided ratios.
+func feedAcks(tags []*tag.Tag, sent int, ratios []float64) {
+	for i, tg := range tags {
+		for k := 0; k < sent; k++ {
+			tg.NoteFrameSent()
+			if float64(k) < ratios[i]*float64(sent) {
+				tg.NoteAck()
+			}
+		}
+	}
+}
+
+func TestNewPowerControllerValidation(t *testing.T) {
+	if _, err := NewPowerController(PowerControlConfig{}, 0); !errors.Is(err, ErrNoTags) {
+		t.Fatalf("got %v, want ErrNoTags", err)
+	}
+	pc, err := NewPowerController(PowerControlConfig{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.maxRounds != 15 { // 3 × numTags per §V-B
+		t.Errorf("maxRounds = %d, want 15", pc.maxRounds)
+	}
+}
+
+func TestRoundConvergedWhenFERLow(t *testing.T) {
+	tags := makeTags(t, 3)
+	pc, err := NewPowerController(PowerControlConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAcks(tags, 10, []float64{1, 1, 0.9})
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Errorf("FER %v should converge", out.FER)
+	}
+	if len(out.Adjusted) != 0 {
+		t.Errorf("converged round must not adjust: %v", out.Adjusted)
+	}
+	if pc.RoundsUsed() != 0 {
+		t.Errorf("converged round must not consume budget")
+	}
+	// ACK windows reset even on convergence.
+	if tags[0].AckRatio() != 0 {
+		t.Error("ack windows must be reset")
+	}
+}
+
+func TestRoundStepsOnlyWeakTags(t *testing.T) {
+	tags := makeTags(t, 3)
+	before := []tag.ImpedanceState{tags[0].Impedance(), tags[1].Impedance(), tags[2].Impedance()}
+	pc, err := NewPowerController(PowerControlConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAcks(tags, 10, []float64{1.0, 0.2, 0.4}) // FER = 1−0.533 ≈ 0.47
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Converged {
+		t.Fatal("high FER must not converge")
+	}
+	if len(out.Adjusted) != 2 || out.Adjusted[0] != 1 || out.Adjusted[1] != 2 {
+		t.Errorf("adjusted %v, want [1 2]", out.Adjusted)
+	}
+	if tags[0].Impedance() != before[0] {
+		t.Error("strong tag must keep its impedance")
+	}
+	if tags[1].Impedance() == before[1] || tags[2].Impedance() == before[2] {
+		t.Error("weak tags must step impedance")
+	}
+	if pc.RoundsUsed() != 1 {
+		t.Errorf("rounds used %d", pc.RoundsUsed())
+	}
+}
+
+func TestRoundBudgetExhaustion(t *testing.T) {
+	tags := makeTags(t, 1)
+	pc, err := NewPowerController(PowerControlConfig{}, 1) // budget = 3 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		feedAcks(tags, 10, []float64{0})
+		out, err := pc.Round(tags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Converged {
+			t.Fatal("must not converge")
+		}
+		_ = out
+	}
+	if !pc.Exhausted() {
+		t.Fatal("budget must be exhausted after 3 rounds")
+	}
+	feedAcks(tags, 10, []float64{0})
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Exhausted || len(out.Adjusted) != 0 {
+		t.Errorf("exhausted controller must stop adjusting: %+v", out)
+	}
+}
+
+func TestRoundNoTags(t *testing.T) {
+	pc, err := NewPowerController(PowerControlConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Round(nil); !errors.Is(err, ErrNoTags) {
+		t.Fatalf("got %v, want ErrNoTags", err)
+	}
+}
+
+func TestRoundFERComputation(t *testing.T) {
+	tags := makeTags(t, 2)
+	pc, err := NewPowerController(PowerControlConfig{FERThreshold: 0.01}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAcks(tags, 10, []float64{0.8, 0.6})
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.FER-0.3) > 1e-9 {
+		t.Errorf("FER = %v, want 0.3", out.FER)
+	}
+}
+
+func TestEqualizePowerShrinksSpread(t *testing.T) {
+	params := channel.DefaultParams()
+	dep := geom.NewDeployment(0.5)
+	tags := makeTags(t, 3)
+	// Near, mid and far tags — a classic near-far spread.
+	tags[0].MoveTo(geom.Point{X: 0.6, Y: 0.2})
+	tags[1].MoveTo(geom.Point{X: 0, Y: 1})
+	tags[2].MoveTo(geom.Point{X: -1.5, Y: 1.5})
+	before, err := PowerSpread(params, dep, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := EqualizePower(params, dep, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("states %v", states)
+	}
+	after, err := PowerSpread(params, dep, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("spread did not shrink: before %v, after %v", before, after)
+	}
+	// The far tag should be at (or near) full reflection; the near tag at a
+	// weaker state.
+	if states[2] < states[0] {
+		t.Errorf("far tag state %d should not be weaker than near tag state %d",
+			states[2], states[0])
+	}
+}
+
+func TestEqualizePowerNoTags(t *testing.T) {
+	if _, err := EqualizePower(channel.DefaultParams(), geom.NewDeployment(0.5), nil); !errors.Is(err, ErrNoTags) {
+		t.Fatalf("got %v, want ErrNoTags", err)
+	}
+}
+
+func TestPowerSpreadSingleTag(t *testing.T) {
+	params := channel.DefaultParams()
+	dep := geom.NewDeployment(0.5)
+	tags := makeTags(t, 1)
+	s, err := PowerSpread(params, dep, tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("single-tag spread %v, want 1", s)
+	}
+	if _, err := PowerSpread(params, dep, nil); !errors.Is(err, ErrNoTags) {
+		t.Fatal("nil tags must fail")
+	}
+}
+
+func newSelector(t *testing.T, cfg NodeSelectConfig) *NodeSelector {
+	t.Helper()
+	return NewNodeSelector(cfg, channel.DefaultParams(), geom.NewDeployment(0.5),
+		rand.New(rand.NewSource(11)))
+}
+
+func TestNodeSelectorDefaults(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	if ns.cfg.BadAckCutoff != 0.7 {
+		t.Errorf("cutoff %v, want 0.7 (§V-C)", ns.cfg.BadAckCutoff)
+	}
+	if math.Abs(ns.cfg.ExclusionRadius-0.075) > 0.001 {
+		t.Errorf("exclusion radius %v, want ≈λ/2 = 0.075 m", ns.cfg.ExclusionRadius)
+	}
+}
+
+func TestIsBad(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	tags := makeTags(t, 1)
+	feedAcks(tags, 10, []float64{0.5})
+	if !ns.IsBad(tags[0]) {
+		t.Error("50% ack ratio must be bad at 70% cutoff")
+	}
+	tags[0].ResetAckWindow()
+	feedAcks(tags, 10, []float64{0.9})
+	if ns.IsBad(tags[0]) {
+		t.Error("90% ack ratio must be good")
+	}
+}
+
+func TestEligibleFiltersExclusionZoneAndRoom(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{ExclusionRadius: 0.5})
+	active := []geom.Point{{X: 0, Y: 0}}
+	candidates := []geom.Point{
+		{X: 0.1, Y: 0},   // inside exclusion zone
+		{X: 1, Y: 1},     // fine
+		{X: 100, Y: 100}, // outside room
+	}
+	got := ns.Eligible(candidates, active)
+	if len(got) != 1 || got[0] != (geom.Point{X: 1, Y: 1}) {
+		t.Errorf("eligible = %v", got)
+	}
+}
+
+func TestReplaceAcceptsBetterPosition(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	bad := geom.Point{X: -2.9, Y: 1.9} // far corner, weak
+	better := geom.Point{X: 0, Y: 0.3} // near the ES–RX axis, strong
+	got, accepted, err := ns.Replace(bad, []geom.Point{better}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accepted || got != better {
+		t.Errorf("better candidate must always be accepted: %v %v", got, accepted)
+	}
+}
+
+func TestReplaceGreedyRejectsWorse(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{Greedy: true})
+	good := geom.Point{X: 0, Y: 0.3}
+	worse := geom.Point{X: -2.9, Y: 1.9}
+	got, accepted, err := ns.Replace(good, []geom.Point{worse}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted || got != good {
+		t.Error("greedy mode must reject a worse candidate")
+	}
+}
+
+func TestReplaceAnnealingCoolsDown(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	t0 := ns.Temperature()
+	good := geom.Point{X: 0, Y: 0.3}
+	worse := geom.Point{X: -2.9, Y: 1.9}
+	for i := 0; i < 5; i++ {
+		if _, _, err := ns.Replace(good, []geom.Point{worse}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ns.Temperature() >= t0 {
+		t.Error("temperature must decay across proposals")
+	}
+}
+
+func TestReplaceAnnealingSometimesAcceptsWorseEarly(t *testing.T) {
+	// With a hot temperature and a mild loss, some proposals must pass.
+	params := channel.DefaultParams()
+	dep := geom.NewDeployment(0.5)
+	good := geom.Point{X: 0, Y: 0.5}
+	slightlyWorse := geom.Point{X: 0, Y: 0.6}
+	accepted := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		ns := NewNodeSelector(NodeSelectConfig{InitialTemp: 2}, params, dep,
+			rand.New(rand.NewSource(int64(i))))
+		_, ok, err := ns.Replace(good, []geom.Point{slightlyWorse}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Error("hot annealing must occasionally accept mildly worse positions")
+	}
+	if accepted == trials {
+		t.Error("acceptance of worse positions must not be certain")
+	}
+}
+
+func TestReplaceNoCandidates(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	if _, _, err := ns.Replace(geom.Point{}, nil, nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("got %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestGradientMoveClimbsField(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	p := geom.Point{X: -2.5, Y: 1.8}
+	start := ns.Strength(p)
+	moved := true
+	steps := 0
+	for moved && steps < 200 {
+		p, moved = ns.GradientMove(p, 0.1)
+		steps++
+	}
+	if ns.Strength(p) <= start {
+		t.Error("gradient walk must improve signal strength")
+	}
+	// The walk converges somewhere near the ES–RX axis where the product of
+	// path gains is maximized.
+	if math.Abs(p.Y) > 0.5 {
+		t.Errorf("converged at %v, expected near the axis", p)
+	}
+}
+
+func TestGradientMoveStaysInRoom(t *testing.T) {
+	ns := newSelector(t, NodeSelectConfig{})
+	p := geom.Point{X: -2.95, Y: 1.95}
+	for i := 0; i < 100; i++ {
+		var moved bool
+		p, moved = ns.GradientMove(p, 0.25)
+		if !ns.dep.Room.Contains(p) {
+			t.Fatalf("left the room at %v", p)
+		}
+		if !moved {
+			break
+		}
+	}
+}

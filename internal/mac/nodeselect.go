@@ -1,0 +1,162 @@
+package mac
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"cbma/internal/channel"
+	"cbma/internal/geom"
+	"cbma/internal/tag"
+)
+
+// ErrNoCandidates is returned when node selection has no idle tags to draw
+// from.
+var ErrNoCandidates = errors.New("mac: no candidate positions available")
+
+// NodeSelectConfig parameterizes the §V-C node-selection scheme.
+type NodeSelectConfig struct {
+	// BadAckCutoff marks a tag "bad" when its ACK ratio stays below this
+	// after power control (§V-C: "below 70%"). Zero selects 0.7.
+	BadAckCutoff float64
+	// ExclusionRadius removes candidates closer than this to any selected
+	// tag (§V-C/§VII-C1: tags within half a wavelength interfere). Zero
+	// selects λ/2 at 2 GHz ≈ 7.5 cm.
+	ExclusionRadius float64
+	// InitialTemp and Cooling control the annealing acceptance of worse
+	// candidates ("we accept the new tag with a probability less than 1
+	// … more unlikely as T increases"). Zero selects 1.0 and 0.85.
+	InitialTemp float64
+	Cooling     float64
+	// Greedy disables the annealing acceptance entirely (ablation 3 in
+	// DESIGN.md): only strictly better candidates are taken.
+	Greedy bool
+}
+
+func (c NodeSelectConfig) withDefaults() NodeSelectConfig {
+	if c.BadAckCutoff == 0 {
+		c.BadAckCutoff = 0.7
+	}
+	if c.ExclusionRadius == 0 {
+		c.ExclusionRadius = geom.Wavelength(2e9) / 2
+	}
+	if c.InitialTemp == 0 {
+		c.InitialTemp = 1.0
+	}
+	if c.Cooling == 0 {
+		c.Cooling = 0.85
+	}
+	return c
+}
+
+// NodeSelector replaces under-performing tags with better-placed idle
+// candidates, walking the theoretical Friis signal-strength field of Fig. 5.
+type NodeSelector struct {
+	cfg    NodeSelectConfig
+	params channel.Params
+	dep    geom.Deployment
+	temp   float64
+	rng    *rand.Rand
+}
+
+// NewNodeSelector builds a selector for the given radio parameters and
+// deployment geometry.
+func NewNodeSelector(cfg NodeSelectConfig, params channel.Params, dep geom.Deployment, rng *rand.Rand) *NodeSelector {
+	c := cfg.withDefaults()
+	return &NodeSelector{cfg: c, params: params, dep: dep, temp: c.InitialTemp, rng: rng}
+}
+
+// Strength returns the theoretical received signal strength (watts) of a
+// tag at p at full reflection — the field the greedy walk climbs.
+func (ns *NodeSelector) Strength(p geom.Point) float64 {
+	return ns.params.BackscatterRxPower(ns.dep.ES.Distance(p), p.Distance(ns.dep.RX), 1.0)
+}
+
+// IsBad reports whether a tag's ACK ratio marks it for replacement.
+func (ns *NodeSelector) IsBad(t *tag.Tag) bool {
+	return ns.IsBadRatio(t.AckRatio())
+}
+
+// IsBadRatio applies the §V-C cutoff to an externally measured delivery
+// ratio — the system layer computes per-tag ratios from run metrics because
+// the tags' own ACK windows are reset by the power-control rounds.
+func (ns *NodeSelector) IsBadRatio(r float64) bool {
+	return r < ns.cfg.BadAckCutoff
+}
+
+// Eligible filters candidates that lie inside the room and respect the
+// exclusion radius around every active position.
+func (ns *NodeSelector) Eligible(candidates, active []geom.Point) []geom.Point {
+	var out []geom.Point
+	for _, c := range candidates {
+		if !ns.dep.Room.Contains(c) {
+			continue
+		}
+		ok := true
+		for _, a := range active {
+			if c.Distance(a) < ns.cfg.ExclusionRadius {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Replace proposes a replacement position for a bad tag at badPos, drawing
+// one random eligible candidate (§V-C: "we first randomly select an idle
+// tag"). A candidate with higher theoretical strength is always accepted; a
+// worse one is accepted with probability exp(−Δ/T) where Δ is the relative
+// strength loss, and the temperature decays after every proposal so worse
+// moves become unlikely over time. It returns the accepted position and
+// true, or badPos and false when the proposal was rejected or no candidate
+// exists.
+func (ns *NodeSelector) Replace(badPos geom.Point, candidates, active []geom.Point) (geom.Point, bool, error) {
+	eligible := ns.Eligible(candidates, active)
+	if len(eligible) == 0 {
+		return badPos, false, ErrNoCandidates
+	}
+	cand := eligible[ns.rng.Intn(len(eligible))]
+	cur := ns.Strength(badPos)
+	next := ns.Strength(cand)
+	accept := next >= cur
+	if !accept && !ns.cfg.Greedy {
+		// Normalize the loss so the acceptance probability is scale-free.
+		delta := (cur - next) / math.Max(cur, 1e-30)
+		accept = ns.rng.Float64() < math.Exp(-delta/ns.temp)
+	}
+	ns.temp *= ns.cfg.Cooling
+	if !accept {
+		return badPos, false, nil
+	}
+	return cand, true, nil
+}
+
+// GradientMove climbs the theoretical signal-strength field from p by step
+// meters: it evaluates the four axis neighbours and moves to the best
+// improving one, staying inside the room (§V-C: "continually moves at the
+// direction with increasing received signal strength"). It reports the new
+// position and whether any improvement was found.
+func (ns *NodeSelector) GradientMove(p geom.Point, step float64) (geom.Point, bool) {
+	best := p
+	bestS := ns.Strength(p)
+	moved := false
+	for _, d := range []geom.Point{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
+		q := p.Add(d)
+		if !ns.dep.Room.Contains(q) {
+			continue
+		}
+		if s := ns.Strength(q); s > bestS {
+			best, bestS = q, s
+			moved = true
+		}
+	}
+	return best, moved
+}
+
+// Temperature exposes the current annealing temperature for tests and
+// diagnostics.
+func (ns *NodeSelector) Temperature() float64 { return ns.temp }

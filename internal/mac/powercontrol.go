@@ -1,0 +1,191 @@
+// Package mac implements CBMA's control plane: the ACK-feedback power
+// control of Algorithm 1 (§V-B) that walks each under-performing tag through
+// its antenna impedance states, and the node-selection scheme of §V-C that
+// swaps out "bad" tags using the theoretical Friis field with a
+// simulated-annealing acceptance rule.
+package mac
+
+import (
+	"errors"
+	"math"
+
+	"cbma/internal/channel"
+	"cbma/internal/geom"
+	"cbma/internal/tag"
+)
+
+// ErrNoTags is returned when a controller is constructed without tags.
+var ErrNoTags = errors.New("mac: at least one tag is required")
+
+// PowerControlConfig parameterizes Algorithm 1.
+type PowerControlConfig struct {
+	// FERThreshold is the frame-error-rate trigger (Algorithm 1 line 15:
+	// "if FER > Threshold"). Zero selects 0.1.
+	FERThreshold float64
+	// AckCutoff is the per-tag ACK-ratio below which the tag's impedance
+	// is stepped (line 17: "if ACKratio_i < 50%"). Zero selects 0.5.
+	AckCutoff float64
+	// MaxRoundsFactor bounds the loop at factor × numTags rounds (§V-B:
+	// "we limit the number of execution cycles to 3 times the number of
+	// tags"). Zero selects 3.
+	MaxRoundsFactor int
+}
+
+func (c PowerControlConfig) withDefaults() PowerControlConfig {
+	if c.FERThreshold == 0 {
+		c.FERThreshold = 0.1
+	}
+	if c.AckCutoff == 0 {
+		c.AckCutoff = 0.5
+	}
+	if c.MaxRoundsFactor == 0 {
+		c.MaxRoundsFactor = 3
+	}
+	return c
+}
+
+// PowerController drives Algorithm 1 over measurement rounds. The caller
+// transmits a batch of frames per round (feeding each tag's ACK counters)
+// and then calls Round; the controller adjusts impedances until the FER
+// target is met or the round budget is exhausted.
+type PowerController struct {
+	cfg       PowerControlConfig
+	maxRounds int
+	rounds    int
+}
+
+// NewPowerController returns a controller for a population of numTags tags.
+func NewPowerController(cfg PowerControlConfig, numTags int) (*PowerController, error) {
+	if numTags <= 0 {
+		return nil, ErrNoTags
+	}
+	c := cfg.withDefaults()
+	return &PowerController{cfg: c, maxRounds: c.MaxRoundsFactor * numTags}, nil
+}
+
+// RoundsUsed reports how many adjustment rounds have run.
+func (pc *PowerController) RoundsUsed() int { return pc.rounds }
+
+// Exhausted reports whether the execution-cycle budget is spent.
+func (pc *PowerController) Exhausted() bool { return pc.rounds >= pc.maxRounds }
+
+// RoundOutcome describes one Round invocation.
+type RoundOutcome struct {
+	// FER is the population frame error rate observed this round
+	// (1 − mean ACK ratio, Algorithm 1 line 14).
+	FER float64
+	// Adjusted lists the IDs of tags whose impedance was stepped.
+	Adjusted []int
+	// Converged reports that FER met the threshold — power control is done.
+	Converged bool
+	// Exhausted reports that the round budget ran out.
+	Exhausted bool
+}
+
+// Round executes one pass of Algorithm 1's control loop over the tags'
+// current ACK statistics, stepping the impedance of every tag whose ACK
+// ratio is below the cutoff. It resets each tag's ACK window afterwards so
+// the next measurement round starts clean.
+func (pc *PowerController) Round(tags []*tag.Tag) (RoundOutcome, error) {
+	if len(tags) == 0 {
+		return RoundOutcome{}, ErrNoTags
+	}
+	var out RoundOutcome
+	var sum float64
+	for _, t := range tags {
+		sum += t.AckRatio()
+	}
+	out.FER = 1 - sum/float64(len(tags))
+	if out.FER <= pc.cfg.FERThreshold {
+		out.Converged = true
+		for _, t := range tags {
+			t.ResetAckWindow()
+		}
+		return out, nil
+	}
+	if pc.Exhausted() {
+		out.Exhausted = true
+		return out, nil
+	}
+	pc.rounds++
+	for _, t := range tags {
+		if t.AckRatio() < pc.cfg.AckCutoff {
+			t.StepImpedance()
+			out.Adjusted = append(out.Adjusted, t.ID())
+		}
+		t.ResetAckWindow()
+	}
+	out.Exhausted = pc.Exhausted()
+	return out, nil
+}
+
+// EqualizePower is the oracle power-control comparator used by ablation
+// benches: it directly selects, for each tag, the impedance state whose
+// predicted received power (via the Friis model) is closest to the weakest
+// tag's strongest achievable level — the "received power from each tag kept
+// at the same level" ideal of §III-A. It returns the per-tag chosen states.
+func EqualizePower(params channel.Params, dep geom.Deployment, tags []*tag.Tag) ([]tag.ImpedanceState, error) {
+	if len(tags) == 0 {
+		return nil, ErrNoTags
+	}
+	// The weakest tag at full reflection defines the common target.
+	target := math.Inf(1)
+	for _, t := range tags {
+		p := params.BackscatterRxPower(
+			dep.ES.Distance(t.Position()), t.Position().Distance(dep.RX), 1.0)
+		if p < target {
+			target = p
+		}
+	}
+	states := make([]tag.ImpedanceState, len(tags))
+	for i, t := range tags {
+		bestState := tag.ImpedanceState(1)
+		bestDiff := math.Inf(1)
+		bank := tag.DefaultBank()
+		ladder, err := bank.Ladder()
+		if err != nil {
+			return nil, err
+		}
+		for s, dg := range ladder {
+			p := params.BackscatterRxPower(
+				dep.ES.Distance(t.Position()), t.Position().Distance(dep.RX), dg)
+			if d := math.Abs(p - target); d < bestDiff {
+				bestDiff = d
+				bestState = tag.ImpedanceState(s + 1)
+			}
+		}
+		if err := t.SetImpedance(bestState); err != nil {
+			return nil, err
+		}
+		states[i] = bestState
+	}
+	return states, nil
+}
+
+// PowerSpread returns the max/min ratio of predicted received powers across
+// tags at their current impedance states — the quantity Table II shows must
+// stay small (<10% relative difference) for reliable collision decoding.
+func PowerSpread(params channel.Params, dep geom.Deployment, tags []*tag.Tag) (float64, error) {
+	if len(tags) == 0 {
+		return 0, ErrNoTags
+	}
+	minP, maxP := math.Inf(1), 0.0
+	for _, t := range tags {
+		dg, err := t.DeltaGamma()
+		if err != nil {
+			return 0, err
+		}
+		p := params.BackscatterRxPower(
+			dep.ES.Distance(t.Position()), t.Position().Distance(dep.RX), dg)
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if minP == 0 {
+		return math.Inf(1), nil
+	}
+	return maxP / minP, nil
+}

@@ -1,0 +1,27 @@
+package paperbench
+
+import (
+	"cbma/internal/mac"
+	"cbma/internal/pn"
+)
+
+// famFromInt maps the small integers used in the registry tables to code
+// families, keeping the experiment definitions terse.
+func famFromInt(v int) pn.Family {
+	switch v {
+	case 2:
+		return pn.Family2NC
+	case 3:
+		return pn.FamilyWalsh
+	case 4:
+		return pn.FamilyKasami
+	default:
+		return pn.FamilyGold
+	}
+}
+
+// nodeSelectCfg builds the selector configuration for the greedy/annealing
+// ablation.
+func nodeSelectCfg(greedy bool) mac.NodeSelectConfig {
+	return mac.NodeSelectConfig{Greedy: greedy}
+}

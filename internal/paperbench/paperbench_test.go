@@ -1,0 +1,70 @@
+package paperbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure in DESIGN.md's per-experiment index must have a
+	// registry entry.
+	want := []string{
+		"table1", "table2", "fig5", "fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c", "userdetect", "fig10", "fig11",
+		"fig12", "headline",
+		"ablation-detector", "ablation-impedance", "ablation-codes", "ablation-select",
+		"ext-cfo", "ext-ackloss",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("entry %d = %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Run == nil {
+			t.Errorf("entry %q incomplete", all[i].ID)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("fig9b"); !ok {
+		t.Error("fig9b not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestQuickRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry smoke run is slow")
+	}
+	o := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, o); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if strings.TrimSpace(buf.String()) == "" {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	d := DefaultOptions()
+	if d.Packets < 100 || d.Groups < 10 || d.Trials < 500 {
+		t.Errorf("default options too small for fidelity: %+v", d)
+	}
+	q := Quick()
+	if q.Packets >= d.Packets {
+		t.Error("quick options must be smaller than defaults")
+	}
+}

@@ -1,0 +1,213 @@
+package pn
+
+import "fmt"
+
+// bipolar maps unipolar chips {0,1} to bipolar values {−1,+1}.
+func bipolar(x []byte) []float64 {
+	out := make([]float64, len(x))
+	for i, b := range x {
+		out[i] = 2*float64(b) - 1
+	}
+	return out
+}
+
+// PeriodicCrossCorrelation returns the periodic (circular) cross-correlation
+// of two equal-length unipolar sequences in bipolar form at every lag.
+// For m-sequences the zero-lag auto value is the period and every other lag
+// is −1; for a Gold preferred pair every value lies in {−1, −t, t−2}.
+func PeriodicCrossCorrelation(a, b []byte) ([]int, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("pn: sequence lengths %d and %d differ", len(a), len(b))
+	}
+	n := len(a)
+	out := make([]int, n)
+	for k := 0; k < n; k++ {
+		acc := 0
+		for i := 0; i < n; i++ {
+			j := i + k
+			if j >= n {
+				j -= n
+			}
+			if a[i] == b[j] {
+				acc++
+			} else {
+				acc--
+			}
+		}
+		out[k] = acc
+	}
+	return out, nil
+}
+
+// MaxAbsSidelobe returns the largest |autocorrelation| of x in bipolar form
+// over all non-zero lags.
+func MaxAbsSidelobe(x []byte) (int, error) {
+	ac, err := PeriodicCrossCorrelation(x, x)
+	if err != nil {
+		return 0, err
+	}
+	var m int
+	for _, v := range ac[1:] {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// CrossResponse measures how strongly interferer j's transmitted waveform
+// leaks into victim i's bit decision: the cyclic correlation of j's unipolar
+// bit-one chip stream (shifted by lag chips) against i's discriminant
+// template, normalized by i's own zero-lag response. A value of 0 means
+// perfect rejection; ±1 means the interferer looks exactly like the victim's
+// own bit. This models OOK backscatter physically: an absorbing tag (chip 0)
+// contributes no signal, unlike the ±1 convention of classical CDMA.
+func CrossResponse(victim, interferer Code, lag int) (float64, error) {
+	if victim.Length() != interferer.Length() {
+		return 0, fmt.Errorf("pn: code lengths %d and %d differ",
+			victim.Length(), interferer.Length())
+	}
+	d := victim.Discriminant()
+	n := len(d)
+	var auto float64
+	for m := range d {
+		auto += float64(victim.One[m]) * d[m]
+	}
+	if auto == 0 {
+		return 0, fmt.Errorf("pn: victim code %d has zero auto response", victim.ID)
+	}
+	var acc float64
+	for m := 0; m < n; m++ {
+		k := m + lag
+		k = ((k % n) + n) % n
+		acc += float64(interferer.One[k]) * d[m]
+	}
+	return acc / auto, nil
+}
+
+// CorrelationProfile summarizes the pairwise interference-rejection quality
+// of a code set as seen by the OOK correlation receiver.
+type CorrelationProfile struct {
+	// MaxCross is the largest |CrossResponse| between distinct codes over
+	// the examined lag window.
+	MaxCross float64
+	// MeanCross is the mean |CrossResponse| over distinct ordered code
+	// pairs and examined lags.
+	MeanCross float64
+	// MaxAutoSidelobe is the largest bipolar |autocorrelation| at non-zero
+	// lag over all codes, divided by the chip length (a frame-sync
+	// false-lock risk metric).
+	MaxAutoSidelobe float64
+}
+
+// Profile computes the correlation profile of a set. maxLag bounds the
+// examined relative chip offsets to ±maxLag (0 = chip-aligned only, the
+// regime CBMA's preamble synchronization targets); a negative maxLag
+// examines every cyclic lag, characterizing fully-asynchronous operation.
+func Profile(s *Set, maxLag int) (CorrelationProfile, error) {
+	if err := s.Validate(); err != nil {
+		return CorrelationProfile{}, err
+	}
+	n := s.ChipLength()
+	lags := []int{0}
+	if maxLag < 0 || maxLag >= n/2 {
+		lags = lags[:0]
+		for k := 0; k < n; k++ {
+			lags = append(lags, k)
+		}
+	} else {
+		for k := 1; k <= maxLag; k++ {
+			lags = append(lags, k, -k)
+		}
+	}
+	var p CorrelationProfile
+	var crossSum float64
+	var crossCount int
+	for i := range s.Codes {
+		side, err := MaxAbsSidelobe(s.Codes[i].One)
+		if err != nil {
+			return CorrelationProfile{}, err
+		}
+		if v := float64(side) / float64(n); v > p.MaxAutoSidelobe {
+			p.MaxAutoSidelobe = v
+		}
+		for j := range s.Codes {
+			if i == j {
+				continue
+			}
+			for _, lag := range lags {
+				r, err := CrossResponse(s.Codes[i], s.Codes[j], lag)
+				if err != nil {
+					return CorrelationProfile{}, err
+				}
+				if r < 0 {
+					r = -r
+				}
+				crossSum += r
+				crossCount++
+				if r > p.MaxCross {
+					p.MaxCross = r
+				}
+			}
+		}
+	}
+	if crossCount > 0 {
+		p.MeanCross = crossSum / float64(crossCount)
+	}
+	return p, nil
+}
+
+// Balance returns ones − zeros for a unipolar sequence. An m-sequence of
+// period 2^n − 1 has balance exactly +1.
+func Balance(x []byte) int {
+	var b int
+	for _, v := range x {
+		if v == 1 {
+			b++
+		} else {
+			b--
+		}
+	}
+	return b
+}
+
+// RunLengthCounts returns a histogram of run lengths in x (runs of equal
+// consecutive chips, non-circular). m-sequences satisfy the classic run
+// property: half the runs have length 1, a quarter length 2, and so on.
+func RunLengthCounts(x []byte) map[int]int {
+	out := make(map[int]int)
+	if len(x) == 0 {
+		return out
+	}
+	run := 1
+	for i := 1; i < len(x); i++ {
+		if x[i] == x[i-1] {
+			run++
+			continue
+		}
+		out[run]++
+		run = 1
+	}
+	out[run]++
+	return out
+}
+
+// IsThreeValued reports whether every cross-correlation value between the
+// two sequences lies in the Gold set {−1, −t, t−2} for t = 2^⌊(deg+2)/2⌋+1,
+// the defining property of a preferred pair.
+func IsThreeValued(a, b []byte, degree uint) (bool, error) {
+	t := 1<<((degree+2)/2) + 1
+	cc, err := PeriodicCrossCorrelation(a, b)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range cc {
+		if v != -1 && v != -t && v != t-2 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

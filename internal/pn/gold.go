@@ -1,0 +1,85 @@
+package pn
+
+import "fmt"
+
+// preferredPair holds the tap masks of a preferred pair of primitive
+// polynomials, whose m-sequences combine into a Gold family with three-valued
+// cross-correlation {−1, −t(n), t(n)−2} where t(n) = 2^⌊(n+2)/2⌋ + 1.
+type preferredPair struct {
+	a, b uint32
+}
+
+// preferredPairs lists classic preferred pairs (octal 45/75, 103/147,
+// 211/217 in the Gold-code literature) translated to the NewLFSR tap-mask
+// convention. Degrees divisible by four admit no preferred pairs.
+var preferredPairs = map[uint]preferredPair{
+	5: {a: 0b101, b: 0b11101},     // x⁵+x²+1  and  x⁵+x⁴+x³+x²+1
+	6: {a: 0b11, b: 0b100111},     // x⁶+x+1   and  x⁶+x⁵+x²+x+1
+	7: {a: 0b1001, b: 0b1111},     // x⁷+x³+1  and  x⁷+x³+x²+x+1
+	9: {a: 0b10001, b: 0b1011001}, // x⁹+x⁴+1 and x⁹+x⁶+x⁴+x³+1 (octal 1021/1131)
+}
+
+// PreferredPair returns the tap masks of a known preferred pair for the
+// given degree.
+func PreferredPair(degree uint) (uint32, uint32, error) {
+	p, ok := preferredPairs[degree]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w (degree %d)", ErrNoPreferred, degree)
+	}
+	return p.a, p.b, nil
+}
+
+// GoldFamily generates the full Gold family of 2^degree + 1 sequences of
+// length 2^degree − 1: the two base m-sequences u and v plus u ⊕ shift(v, k)
+// for every cyclic shift k.
+func GoldFamily(degree uint) ([][]byte, error) {
+	pa, pb, err := PreferredPair(degree)
+	if err != nil {
+		return nil, err
+	}
+	u, err := MSequence(degree, pa, 1)
+	if err != nil {
+		return nil, fmt.Errorf("pn: base sequence u: %w", err)
+	}
+	v, err := MSequence(degree, pb, 1)
+	if err != nil {
+		return nil, fmt.Errorf("pn: base sequence v: %w", err)
+	}
+	period := len(u)
+	fam := make([][]byte, 0, period+2)
+	fam = append(fam, u, v)
+	for k := 0; k < period; k++ {
+		fam = append(fam, xorSeq(u, cyclicShift(v, k)))
+	}
+	return fam, nil
+}
+
+// NewGoldSet returns the first n codes of the Gold family of the given
+// degree, encoded for OOK backscatter: a data bit of one is the code's chip
+// sequence, a data bit of zero is its chip-wise negation.
+func NewGoldSet(degree uint, n int) (*Set, error) {
+	if n <= 0 {
+		return nil, ErrBadUserNum
+	}
+	fam, err := GoldFamily(degree)
+	if err != nil {
+		return nil, err
+	}
+	if n > len(fam) {
+		return nil, fmt.Errorf("%w: want %d, family has %d", ErrFamilySize, n, len(fam))
+	}
+	// Skip the two base m-sequences: the combined u⊕shift(v) members have
+	// the guaranteed three-valued pairwise cross-correlation among
+	// themselves AND with u, v; using only combined members keeps the set
+	// homogeneous. Fall back to including the bases for very large n.
+	codes := make([]Code, 0, n)
+	start := 2
+	if n > len(fam)-2 {
+		start = 0
+	}
+	for i := 0; i < n; i++ {
+		one := fam[start+i]
+		codes = append(codes, Code{ID: i, One: one, Zero: negate(one)})
+	}
+	return &Set{Family: FamilyGold, Codes: codes}, nil
+}

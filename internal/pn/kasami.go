@@ -1,0 +1,55 @@
+package pn
+
+import "fmt"
+
+// KasamiFamily generates the small Kasami set for an even degree n: the
+// base m-sequence u plus u ⊕ shift(w, k) where w is u decimated by
+// 2^(n/2) + 1 (w has period 2^(n/2) − 1). The set contains 2^(n/2)
+// sequences with optimal maximum cross-correlation 2^(n/2) + 1.
+func KasamiFamily(degree uint) ([][]byte, error) {
+	if degree%2 != 0 {
+		return nil, fmt.Errorf("pn: Kasami set requires even degree, got %d", degree)
+	}
+	poly, err := PrimitivePoly(degree)
+	if err != nil {
+		return nil, err
+	}
+	u, err := MSequence(degree, poly, 1)
+	if err != nil {
+		return nil, err
+	}
+	half := 1 << (degree / 2)
+	w := Decimate(u, half+1)
+	fam := make([][]byte, 0, half)
+	fam = append(fam, u)
+	for k := 0; k < half-1; k++ {
+		fam = append(fam, xorSeq(u, cyclicShift(w, k)))
+	}
+	return fam, nil
+}
+
+// NewKasamiSet returns the first n codes of the small Kasami set of the
+// given (even) degree, OOK-encoded like the Gold set. Odd degrees are
+// rounded up to the next even degree so callers can pass the same default
+// degree they use for Gold codes.
+func NewKasamiSet(degree uint, n int) (*Set, error) {
+	if n <= 0 {
+		return nil, ErrBadUserNum
+	}
+	if degree%2 != 0 {
+		degree++
+	}
+	fam, err := KasamiFamily(degree)
+	if err != nil {
+		return nil, err
+	}
+	if n > len(fam) {
+		return nil, fmt.Errorf("%w: want %d, Kasami set has %d", ErrFamilySize, n, len(fam))
+	}
+	codes := make([]Code, n)
+	for i := 0; i < n; i++ {
+		one := fam[i]
+		codes[i] = Code{ID: i, One: one, Zero: negate(one)}
+	}
+	return &Set{Family: FamilyKasami, Codes: codes}, nil
+}

@@ -1,0 +1,150 @@
+// Package pn generates and analyzes the pseudo-noise spreading codes used by
+// CBMA tags: maximal-length sequences from linear-feedback shift registers,
+// Gold code families built from preferred pairs, the paper's "2NC" codes
+// (2N chips for N users, with the bit-0 chip being the negation of the bit-1
+// chip, per §VII-B footnote 2), plus Walsh–Hadamard and small-set Kasami
+// families for comparison.
+//
+// Codes are represented in unipolar (0/1) chip form because a backscatter
+// tag can only reflect (1) or absorb (0); helpers convert to the bipolar
+// (±1) discriminant templates the correlation receiver uses.
+package pn
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Errors returned by the generators.
+var (
+	ErrBadDegree   = errors.New("pn: unsupported LFSR degree")
+	ErrZeroSeed    = errors.New("pn: LFSR seed must be non-zero")
+	ErrNotMaximal  = errors.New("pn: polynomial is not primitive (sequence not maximal length)")
+	ErrFamilySize  = errors.New("pn: requested more codes than the family contains")
+	ErrBadUserNum  = errors.New("pn: number of users must be positive")
+	ErrNoPreferred = errors.New("pn: no preferred pair known for this degree")
+)
+
+// LFSR is a Fibonacci linear-feedback shift register over GF(2). The zero
+// value is not usable; construct with NewLFSR.
+//
+// The register implements the recurrence a(t+n) = Σ_{k∈taps} a(t+k), whose
+// characteristic polynomial is x^n + Σ_{k∈taps} x^k. The tap mask therefore
+// covers exponents 0..n−1 (bit 0 is the constant term, which every
+// primitive polynomial has) while the leading x^n term is implicit.
+type LFSR struct {
+	state uint32
+	taps  uint32 // bit k set ⇒ recurrence uses a(t+k); characteristic term x^k
+	deg   uint
+}
+
+// NewLFSR returns an LFSR of the given degree (2..24) with the recurrence
+// tap mask poly (bits 0..degree−1; the x^degree term is implicit). seed is
+// the initial register fill and must be non-zero.
+func NewLFSR(degree uint, poly uint32, seed uint32) (*LFSR, error) {
+	if degree < 2 || degree > 24 {
+		return nil, fmt.Errorf("%w: %d", ErrBadDegree, degree)
+	}
+	mask := uint32(1)<<degree - 1
+	if seed&mask == 0 {
+		return nil, ErrZeroSeed
+	}
+	return &LFSR{state: seed & mask, taps: poly & mask, deg: degree}, nil
+}
+
+// Next advances the register one step and returns the output bit (the bit
+// shifted out of position 0).
+func (l *LFSR) Next() byte {
+	out := byte(l.state & 1)
+	fb := bits.OnesCount32(l.state&l.taps) & 1
+	l.state >>= 1
+	l.state |= uint32(fb) << (l.deg - 1)
+	return out
+}
+
+// State returns the current register contents (for diagnostics and tests).
+func (l *LFSR) State() uint32 { return l.state }
+
+// primitivePolys maps an LFSR degree to the tap mask of a known primitive
+// polynomial, in the NewLFSR convention (bit k ⇒ term x^k, leading term
+// implicit, bit 0 = constant term).
+var primitivePolys = map[uint]uint32{
+	2:  0b11,      // x² + x + 1
+	3:  0b11,      // x³ + x + 1
+	4:  0b11,      // x⁴ + x + 1
+	5:  0b101,     // x⁵ + x² + 1
+	6:  0b11,      // x⁶ + x + 1
+	7:  0b1001,    // x⁷ + x³ + 1
+	8:  0b1110001, // x⁸ + x⁶ + x⁵ + x⁴ + 1
+	9:  0b100001,  // x⁹ + x⁵ + 1
+	10: 0b1001,    // x¹⁰ + x³ + 1
+	11: 0b101,     // x¹¹ + x² + 1
+}
+
+// PrimitivePoly returns the tap mask of a known primitive polynomial of the
+// given degree.
+func PrimitivePoly(degree uint) (uint32, error) {
+	p, ok := primitivePolys[degree]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadDegree, degree)
+	}
+	return p, nil
+}
+
+// MSequence generates one period (2^degree − 1 chips) of the maximal-length
+// sequence produced by the given polynomial and seed. It verifies maximality
+// by checking that the register returns to the seed state after exactly one
+// period, returning ErrNotMaximal otherwise.
+func MSequence(degree uint, poly uint32, seed uint32) ([]byte, error) {
+	l, err := NewLFSR(degree, poly, seed)
+	if err != nil {
+		return nil, err
+	}
+	period := 1<<degree - 1
+	out := make([]byte, period)
+	for i := range out {
+		out[i] = l.Next()
+	}
+	if l.State() != seed&(uint32(1)<<degree-1) {
+		return nil, ErrNotMaximal
+	}
+	return out, nil
+}
+
+// cyclicShift returns x rotated left by k positions (chip k becomes chip 0).
+func cyclicShift(x []byte, k int) []byte {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	k = ((k % n) + n) % n
+	out := make([]byte, n)
+	copy(out, x[k:])
+	copy(out[n-k:], x[:k])
+	return out
+}
+
+// xorSeq returns the element-wise XOR of two equal-length chip sequences.
+func xorSeq(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// Decimate returns the sequence x[0], x[q], x[2q], … taken cyclically for
+// one period of the source, i.e. len(x) output chips. Kasami-set
+// construction decimates an m-sequence by q = 2^(n/2) + 1.
+func Decimate(x []byte, q int) []byte {
+	n := len(x)
+	if n == 0 || q <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = x[(i*q)%n]
+	}
+	return out
+}

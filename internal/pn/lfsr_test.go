@@ -1,0 +1,192 @@
+package pn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLFSRRejectsBadDegree(t *testing.T) {
+	for _, d := range []uint{0, 1, 25, 100} {
+		if _, err := NewLFSR(d, 0b11, 1); err == nil {
+			t.Errorf("degree %d: want error", d)
+		}
+	}
+}
+
+func TestNewLFSRRejectsZeroSeed(t *testing.T) {
+	if _, err := NewLFSR(5, 0b101, 0); err != ErrZeroSeed {
+		t.Fatalf("got %v, want ErrZeroSeed", err)
+	}
+	// A seed with bits only above the register width is effectively zero.
+	if _, err := NewLFSR(5, 0b101, 1<<10); err != ErrZeroSeed {
+		t.Fatalf("got %v, want ErrZeroSeed", err)
+	}
+}
+
+func TestMSequencePeriodAllDegrees(t *testing.T) {
+	for deg := uint(2); deg <= 11; deg++ {
+		poly, err := PrimitivePoly(deg)
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		seq, err := MSequence(deg, poly, 1)
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		if want := 1<<deg - 1; len(seq) != want {
+			t.Errorf("degree %d: length %d, want %d", deg, len(seq), want)
+		}
+	}
+}
+
+func TestMSequenceBalanceProperty(t *testing.T) {
+	// An m-sequence has exactly 2^(n-1) ones and 2^(n-1)−1 zeros.
+	for deg := uint(3); deg <= 11; deg++ {
+		poly, _ := PrimitivePoly(deg)
+		seq, err := MSequence(deg, poly, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := Balance(seq); b != 1 {
+			t.Errorf("degree %d: balance %d, want 1", deg, b)
+		}
+	}
+}
+
+func TestMSequenceIdealAutocorrelation(t *testing.T) {
+	// Periodic autocorrelation of an m-sequence is −1 at every non-zero lag.
+	poly, _ := PrimitivePoly(7)
+	seq, err := MSequence(7, poly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := PeriodicCrossCorrelation(seq, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac[0] != len(seq) {
+		t.Errorf("zero lag %d, want %d", ac[0], len(seq))
+	}
+	for k, v := range ac[1:] {
+		if v != -1 {
+			t.Fatalf("lag %d: %d, want -1", k+1, v)
+		}
+	}
+}
+
+func TestMSequenceRunProperty(t *testing.T) {
+	// Non-circular run property for degree 5 (period 31): of the 16 runs,
+	// 8 have length 1, 4 length 2, 2 length 3, 1 length 4 (zeros),
+	// 1 length 5 (ones). Counting non-circularly can split one run, so
+	// verify the dominant structure loosely: length-1 runs are the most
+	// common and long runs are rare.
+	poly, _ := PrimitivePoly(5)
+	seq, err := MSequence(5, poly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := RunLengthCounts(seq)
+	if runs[1] < runs[2] || runs[2] < runs[3] {
+		t.Errorf("run histogram not geometric-ish: %v", runs)
+	}
+}
+
+func TestMSequenceNonMaximalPolyRejected(t *testing.T) {
+	// x⁴ + x² + 1 = (x²+x+1)² is not primitive — taps {2,0}.
+	if _, err := MSequence(4, 0b101, 1); err != ErrNotMaximal {
+		t.Fatalf("got %v, want ErrNotMaximal", err)
+	}
+}
+
+func TestMSequenceSeedInvariance(t *testing.T) {
+	// Different seeds produce cyclic shifts of the same sequence.
+	poly, _ := PrimitivePoly(5)
+	a, err := MSequence(5, poly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MSequence(5, poly, 0b10110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for k := 0; k < len(a); k++ {
+		if string(cyclicShift(a, k)) == string(b) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("seeded sequence is not a cyclic shift of the canonical one")
+	}
+}
+
+func TestPrimitivePolyUnknownDegree(t *testing.T) {
+	if _, err := PrimitivePoly(12); err == nil {
+		t.Fatal("want error for unlisted degree")
+	}
+}
+
+func TestCyclicShiftProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		x := []byte{1, 0, 1, 1, 0, 0, 1}
+		k := int(seed%100+100) % 100
+		shifted := cyclicShift(x, k)
+		back := cyclicShift(shifted, len(x)-k%len(x))
+		return string(back) == string(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	if got := cyclicShift(nil, 3); got != nil {
+		t.Error("shift of empty sequence must be nil")
+	}
+	// Negative shifts wrap.
+	x := []byte{1, 2, 3}
+	if got := cyclicShift(x, -1); got[0] != 3 {
+		t.Errorf("negative shift: %v", got)
+	}
+}
+
+func TestXorSeqSelfIsZero(t *testing.T) {
+	x := []byte{1, 0, 1, 1}
+	z := xorSeq(x, x)
+	for i, b := range z {
+		if b != 0 {
+			t.Fatalf("chip %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []byte{0, 1, 2, 3, 4, 5, 6}
+	got := Decimate(x, 2)
+	want := []byte{0, 2, 4, 6, 1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chip %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if Decimate(nil, 2) != nil {
+		t.Error("empty input must return nil")
+	}
+	if Decimate(x, 0) != nil {
+		t.Error("non-positive step must return nil")
+	}
+}
+
+func TestLFSRDeterminism(t *testing.T) {
+	mk := func() *LFSR {
+		l, err := NewLFSR(7, 0b1001, 0x55)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package pn
+
+import "math/bits"
+
+// walshChip returns row r, column c of the naturally-ordered Hadamard
+// matrix H_{2^k} as a unipolar chip: 0 ⇒ +1 entry, 1 ⇒ −1 entry. The entry
+// is (−1)^{popcount(r AND c)}.
+func walshChip(r, c int) byte {
+	return byte(bits.OnesCount(uint(r&c)) & 1)
+}
+
+// NewWalshSet returns n Walsh–Hadamard codes of length 2^k where 2^k is the
+// smallest power of two > n. Row 0 (all-equal chips) is skipped because it
+// carries no chip transitions and cannot be distinguished from an unmodulated
+// carrier. Walsh codes are perfectly orthogonal only when chip-synchronous,
+// which makes them the synchronous-CDMA upper bound the asynchrony ablation
+// compares against.
+func NewWalshSet(n int) (*Set, error) {
+	if n <= 0 {
+		return nil, ErrBadUserNum
+	}
+	size := 2
+	for size <= n { // need n rows excluding row 0
+		size <<= 1
+	}
+	codes := make([]Code, n)
+	for i := 0; i < n; i++ {
+		row := i + 1 // skip the constant row
+		one := make([]byte, size)
+		for c := 0; c < size; c++ {
+			// Map Hadamard +1 → chip 1 (reflect), −1 → chip 0 (absorb).
+			one[c] = 1 - walshChip(row, c)
+		}
+		codes[i] = Code{ID: i, One: one, Zero: negate(one)}
+	}
+	return &Set{Family: FamilyWalsh, Codes: codes}, nil
+}

@@ -1,0 +1,293 @@
+package rx
+
+import (
+	"math"
+	"math/cmplx"
+
+	"cbma/internal/dsp"
+)
+
+// detection is the outcome of the per-user preamble search.
+type detection struct {
+	lag    int        // frame start in samples
+	corr   float64    // normalized envelope correlation at lag
+	phasor complex128 // unit phasor of the user's channel (preamble phase)
+}
+
+// complexRealDot computes Σ x[i]·t[i] for complex samples against a real
+// template — the correlation primitive of the coherent bit decisions.
+func complexRealDot(x []complex128, t []float64) complex128 {
+	var re, im float64
+	for i, v := range t {
+		re += real(x[i]) * v
+		im += imag(x[i]) * v
+	}
+	return complex(re, im)
+}
+
+// globalAlign estimates the fine frame start common to the colliding tags by
+// maximizing the summed positive-polarity preamble correlation across every
+// code in the deployment over the energy detector's uncertainty window.
+//
+// Alignment and user detection run on the magnitude envelope — exactly the
+// P(t) = √(I²+Q²) statistic the paper's receiver computes — rather than on
+// the complex baseband, for two reasons. First, the envelope has no phase
+// ambiguity, so the alternating 1010… preamble keeps its polarity: a
+// one-bit-shifted (inverted) alignment correlates negatively and is
+// rejected, where a coherent magnitude metric could not tell it apart from a
+// π-rotated channel. Second, a single shared alignment is essential for
+// shift-structured code families: 2NC codes are cyclic shifts of one
+// another, so tag j's entire waveform equals tag i's shifted by 2(j−i)
+// chips, and a per-user search wide enough to absorb the energy detector's
+// back-dating would lock code i onto tag j's frame. Because CBMA tags are
+// frame-synchronized by the shared excitation source to within a fraction
+// of a chip (the damage beyond that is what Fig. 11 measures), every active
+// user peaks at nearly the same lag — and the summed metric peaks where all
+// of them agree, while any shift-impostor alignment only ever matches a
+// subset.
+//
+// The search runs at half-chip stride and then refines to sample resolution
+// around the winner.
+//
+// The correlation score is weighted by a soft prior centered on the
+// refined energy-rise edge (refineEdge). The edge is the one *absolute*
+// timing anchor the physics provides: for a shift-structured family with a
+// single active tag the correlation landscape is perfectly periodic (one
+// code matches at every slot shift), and without the edge prior the
+// alignment — and therefore the tag's identity — would be picked uniformly
+// at random among the shifts. The prior is gentle enough (half weight at
+// four chips) that a genuine multi-tag correlation peak still dominates
+// when the edge estimate is noisy.
+func (r *Receiver) globalAlign(env []float64, power []float64, coarse int, noiseW float64, nominalStart int) (int, bool) {
+	tmplLen := len(r.preambleTmpl[0])
+	slack := r.cfg.SamplesPerChip * 2
+	lo := coarse - slack
+	if lo < 0 {
+		lo = 0
+	}
+	hi := coarse + r.shortWindow() + slack
+	if hi+tmplLen > len(env) {
+		hi = len(env) - tmplLen
+	}
+	if hi < lo {
+		return 0, false
+	}
+	stride := r.cfg.SamplesPerChip / 2
+	if stride < 1 {
+		stride = 1
+	}
+	edge := nominalStart
+	if edge < 0 {
+		edge = r.refineEdge(power, coarse, noiseW)
+	}
+	prior := func(lag int) float64 {
+		d := float64(lag-edge) / float64(4*r.cfg.SamplesPerChip)
+		return 1 / (1 + d*d)
+	}
+	score := func(lag int) float64 {
+		var sum float64
+		for id := range r.preambleTmpl {
+			c, err := dsp.DotReal(env[lag:lag+tmplLen], r.preambleTmpl[id])
+			if err != nil {
+				return 0
+			}
+			if c > 0 { // only positive polarity is a valid preamble
+				sum += c * c
+			}
+		}
+		return sum * prior(lag)
+	}
+	bestLag, bestScore := lo, -1.0
+	for lag := lo; lag <= hi; lag += stride {
+		if s := score(lag); s > bestScore {
+			bestLag, bestScore = lag, s
+		}
+	}
+	// Refine to sample resolution around the strided winner.
+	rlo, rhi := bestLag-stride+1, bestLag+stride-1
+	if rlo < lo {
+		rlo = lo
+	}
+	if rhi > hi {
+		rhi = hi
+	}
+	for lag := rlo; lag <= rhi; lag++ {
+		if s := score(lag); s > bestScore {
+			bestLag, bestScore = lag, s
+		}
+	}
+	return bestLag, bestScore > 0
+}
+
+// refineEdge locates the frame's energy-rise edge to within a chip or two:
+// the first sample at or after the (back-dated) coarse start whose local
+// 8-sample mean power clears the noise estimate by 3 dB. It falls back to
+// the coarse start when nothing clears the bar (very low SNR).
+func (r *Receiver) refineEdge(power []float64, coarse int, noiseW float64) int {
+	// A 16-sample window at 3× the noise floor keeps the false-fire
+	// probability per position below 1e-6 (Chernoff), so the edge cannot
+	// anchor on a noise fluctuation ahead of the frame.
+	const win = 16
+	lo := coarse - r.cfg.SamplesPerChip
+	if lo < 0 {
+		lo = 0
+	}
+	hi := coarse + r.shortWindow() + 2*r.cfg.SamplesPerChip
+	if hi+win > len(power) {
+		hi = len(power) - win
+	}
+	if noiseW <= 0 || hi < lo {
+		return coarse
+	}
+	thresh := 3 * noiseW * win
+	for j := lo; j <= hi; j++ {
+		var acc float64
+		for k := 0; k < win; k++ {
+			acc += power[j+k]
+		}
+		if acc <= thresh {
+			continue
+		}
+		// The window triggers as soon as it overlaps the frame, up to
+		// win−1 samples early; locate the first individual sample that
+		// clears the floor decisively to pin the edge within ~a sample.
+		for k := 0; k < win; k++ {
+			if power[j+k] > 6*noiseW {
+				return j + k
+			}
+		}
+		return j + win/2
+	}
+	return coarse
+}
+
+// detectUser implements §III-B user detection for one code: it slides the
+// code's preamble discriminant template over the complex baseband within
+// ±SearchChips chips of the global alignment and reports the best normalized
+// correlation magnitude.
+//
+// The per-user metric is coherent — |Σ x·tmpl| normalized by the window and
+// template energies — because the envelope correlation dilutes as 1/√N with
+// N concurrent tags and stops separating present from absent users beyond
+// two or three tags, while the coherent matched filter keeps its margin.
+// The coherent magnitude cannot tell an inverted (one-bit-shifted) preamble
+// from a π-rotated channel, but the narrow window around the
+// envelope-anchored global alignment never reaches a one-bit shift, so the
+// ambiguity is structurally excluded. The window also stays inside the
+// cyclic-ambiguity distance of shift-structured families like 2NC (see
+// globalAlign) while tolerating the sub-chip clock skew the
+// correlation-based detector is built for.
+//
+// Lag choice and detection value use different statistics because their
+// failure modes differ, and the right lag statistic depends on the code's
+// structure — this is matched detection, not a tuning hack:
+//
+//   - Sparse PPM-style codes (2NC: one active chip per bit value) choose
+//     the lag by maximum positive envelope correlation. Envelope
+//     contributions add without phase cancellation, so the true alignment
+//     beats the ±1 chip offsets where the window mixes the tag's own
+//     inverted chips with a neighbour's chips — offsets that can win a
+//     phase-blind magnitude contest under fading.
+//   - Dense balanced codes (Gold, Kasami, Walsh: ~half the chips active)
+//     choose the lag by maximum coherent correlation magnitude. Their
+//     envelope statistic breaks under near-far — a weak tag's envelope
+//     contribution scales with the cosine of its phase offset from the
+//     dominant tag and can legitimately go negative — while their
+//     autocorrelation rejects ±1 chip offsets on its own.
+//
+// The detection test at the chosen lag always uses the coherent normalized
+// correlation |Σ x·tmpl| / (‖x_win‖·‖tmpl‖), because the envelope value
+// dilutes against N concurrent tags and stops separating present from
+// absent users, while the coherent matched filter keeps its margin.
+//
+// On success the detection carries the user's channel phasor — the phase of
+// the complex correlation at the chosen lag — as the reference the coherent
+// bit decisions project onto. For a sparse code, the residual self-impostor
+// (an exactly inverted decode at ±1 chip) is detected and undone by
+// decodeUser's preamble-inversion repair.
+func (r *Receiver) detectUser(env []float64, x []complex128, id, globalStart int, noiseW float64) (detection, bool) {
+	tmpl := r.preambleTmpl[id]
+	slack := r.cfg.SearchChips * r.cfg.SamplesPerChip
+	lo := globalStart - slack
+	if lo < 0 {
+		lo = 0
+	}
+	hi := globalStart + slack
+	if hi+len(tmpl) > len(x) {
+		hi = len(x) - len(tmpl)
+	}
+	if hi < lo {
+		return detection{}, false
+	}
+	var tmplEnergy float64
+	for _, v := range tmpl {
+		tmplEnergy += v * v
+	}
+	if tmplEnergy == 0 {
+		return detection{}, false
+	}
+	bestLag := -1
+	if r.sparse[id] {
+		bestEnv := 0.0
+		cohLag, cohBest := -1, -1.0
+		for lag := lo; lag <= hi; lag++ {
+			e, err := dsp.DotReal(env[lag:lag+len(tmpl)], tmpl)
+			if err != nil {
+				return detection{}, false
+			}
+			if e > bestEnv {
+				bestLag, bestEnv = lag, e
+			}
+			dot := complexRealDot(x[lag:lag+len(tmpl)], tmpl)
+			if m := real(dot)*real(dot) + imag(dot)*imag(dot); m > cohBest {
+				cohLag, cohBest = lag, m
+			}
+		}
+		if bestLag < 0 {
+			bestLag = cohLag // no positive envelope peak: fall back to coherent
+		}
+	} else {
+		cohBest := -1.0
+		for lag := lo; lag <= hi; lag++ {
+			dot := complexRealDot(x[lag:lag+len(tmpl)], tmpl)
+			if m := real(dot)*real(dot) + imag(dot)*imag(dot); m > cohBest {
+				bestLag, cohBest = lag, m
+			}
+		}
+	}
+	if bestLag < 0 {
+		return detection{}, false
+	}
+	dot := complexRealDot(x[bestLag:bestLag+len(tmpl)], tmpl)
+	winE := energyOf(x[bestLag : bestLag+len(tmpl)])
+	if winE == 0 {
+		return detection{}, false
+	}
+	mag2 := real(dot)*real(dot) + imag(dot)*imag(dot)
+	corr := math.Sqrt(mag2 / (winE * tmplEnergy))
+	if corr < r.cfg.DetectThreshold {
+		return detection{}, false
+	}
+	// CFAR test: the matched-filter output must clear the noise floor by
+	// the configured deflection. This is the length-sensitive half of
+	// detection — integrating a longer preamble buys SNR — while the
+	// normalized-correlation test above is the MAI-robust, scale-free
+	// half (see Config.CFARThreshold).
+	if noiseW > 0 && mag2 < r.cfg.CFARThreshold*noiseW*tmplEnergy {
+		return detection{}, false
+	}
+	best := detection{lag: bestLag, corr: corr, phasor: 1}
+	if abs := cmplx.Abs(dot); abs > 0 {
+		best.phasor = dot / complex(abs, 0)
+	}
+	return best, true
+}
+
+// energyOf returns Σ|x[i]|².
+func energyOf(x []complex128) float64 {
+	var acc float64
+	for _, v := range x {
+		acc += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return acc
+}

@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cbma/internal/dsp"
+
+	"cbma/internal/channel"
+	"cbma/internal/geom"
+	"cbma/internal/mac"
+	"cbma/internal/pn"
+	"cbma/internal/rx"
+	"cbma/internal/tag"
+	"cbma/internal/trace"
+)
+
+// Engine runs collision rounds for one scenario. Construct with NewEngine;
+// an Engine is single-goroutine (the rng and tag state are unsynchronized).
+type Engine struct {
+	scn  Scenario
+	rng  *rand.Rand
+	set  *pn.Set
+	tags []*tag.Tag
+	recv *rx.Receiver
+	pc   *mac.PowerController
+	// leadSamples is the noise-only region before the nominal frame start.
+	leadSamples int
+	// staticFading caches per-tag channel coefficients when the scenario
+	// freezes the channel (Scenario.StaticChannel).
+	staticFading []complex128
+	// recorder and player implement the paper's §VIII-C trace-driven
+	// emulation (see RecordTo / ReplayFrom).
+	recorder *trace.Recorder
+	player   *trace.Player
+}
+
+// NewEngine validates the scenario and builds the tag population and
+// receiver.
+func NewEngine(scn Scenario) (*Engine, error) {
+	if err := scn.validate(); err != nil {
+		return nil, err
+	}
+	set, err := pn.NewSet(scn.Family, scn.NumTags, scn.GoldDegree)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building code set: %w", err)
+	}
+	spc := scn.SamplesPerChip()
+	e := &Engine{
+		scn: scn,
+		rng: rand.New(rand.NewSource(scn.Seed)),
+		set: set,
+	}
+	var bank tag.Bank
+	if scn.ImpedanceStates > 0 {
+		bank, err = tag.UniformBank(scn.ImpedanceStates)
+		if err != nil {
+			return nil, fmt.Errorf("sim: impedance bank: %w", err)
+		}
+	}
+	for i := 0; i < scn.NumTags; i++ {
+		tg, err := tag.New(i, tag.Config{
+			Code:           set.Codes[i],
+			SamplesPerChip: spc,
+			Frame:          scn.Frame,
+			Bank:           bank,
+		}, scn.Deployment.Tags[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: tag %d: %w", i, err)
+		}
+		e.tags = append(e.tags, tg)
+	}
+	e.recv, err = rx.New(rx.Config{
+		Codes:           set,
+		SamplesPerChip:  spc,
+		Frame:           scn.Frame,
+		DetectThreshold: scn.DetectThreshold,
+		SearchChips:     scn.SearchChips,
+		NoiseFloorW:     scn.Channel.NoiseFloorW(),
+		SIC:             scn.SIC,
+		PhaseTracking:   scn.PhaseTracking,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: receiver: %w", err)
+	}
+	if scn.PowerControl && !scn.OraclePowerControl {
+		e.pc, err = mac.NewPowerController(mac.PowerControlConfig{}, scn.NumTags)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if scn.RandomInitialImpedance {
+		states := tag.NumImpedanceStates
+		if scn.ImpedanceStates > 0 {
+			states = scn.ImpedanceStates
+		}
+		for _, tg := range e.tags {
+			state := tag.ImpedanceState(1 + e.rng.Intn(states))
+			if err := tg.SetImpedance(state); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Noise lead: several bit durations so the energy detector has a
+	// reference and the noise estimator a quiet region.
+	e.leadSamples = 6 * set.ChipLength() * spc
+	if e.leadSamples < 256 {
+		e.leadSamples = 256
+	}
+	return e, nil
+}
+
+// Tags exposes the tag population (the macro experiments adjust positions
+// and impedances between rounds).
+func (e *Engine) Tags() []*tag.Tag { return e.tags }
+
+// RecordTo captures every subsequent round's realized channel gains and
+// clock offsets into rec — the paper's §VIII-C "real trace data … real
+// imperfectness" emulation input. Pass nil to stop recording.
+func (e *Engine) RecordTo(rec *trace.Recorder) { e.recorder = rec }
+
+// ReplayFrom replays recorded rounds instead of drawing fresh channel and
+// timing randomness: each round consumes one trace entry, reproducing the
+// exact collisions of the recorded run (payloads and receiver noise are
+// still drawn fresh — the trace captures the channel, not the data). Run
+// fails with trace.ErrExhausted when the trace is shorter than the
+// scenario's packet count. Pass nil to return to live channel draws.
+//
+// Replay is physical-layer replay: recorded gains already embed the
+// impedance states in force during capture, so power-control adjustments
+// have no effect while replaying.
+func (e *Engine) ReplayFrom(p *trace.Player) { e.player = p }
+
+// Receiver exposes the receiver, mainly for tests.
+func (e *Engine) Receiver() *rx.Receiver { return e.recv }
+
+// roundResult captures one collision round.
+type roundResult struct {
+	sent         int // frames transmitted (== active tags)
+	delivered    int // frames decoded with correct payload and CRC
+	falsePos     int // decoded-OK frames whose payload did not match
+	samples      int // buffer length, for airtime accounting
+	frames       []rx.DecodedFrame
+	globalStart  int
+	detected     bool
+	coarse       int
+	sentIDs      []int
+	deliveredIDs []int
+	detectedIDs  []int
+}
+
+// runRound simulates one collision: every tag transmits one frame
+// simultaneously; the receiver decodes; tags hear ACKs.
+func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
+	var res roundResult
+	if len(active) == 0 {
+		return res, ErrBadTagCount
+	}
+	spc := e.scn.SamplesPerChip()
+	chipsPerFrame := 0
+
+	payloads := make([][]byte, len(active))
+	waves := make([][]complex128, len(active))
+	offsets := make([]int, len(active))
+	delays := make([]float64, len(active))
+	minDelay := math.Inf(1)
+	for i, tg := range active {
+		// Per-tag clock offset: fixed extra delay (Fig. 11) plus uniform
+		// jitter, in (fractional) samples.
+		delayChips := e.scn.JitterChips * (e.rng.Float64() - 0.5)
+		if tg.ID() < len(e.scn.ExtraDelayChips) {
+			delayChips += e.scn.ExtraDelayChips[tg.ID()]
+		}
+		delays[i] = delayChips * float64(spc)
+		if delays[i] < minDelay {
+			minDelay = delays[i]
+		}
+	}
+	// Trace replay substitutes the recorded delays before waveform
+	// placement and the recorded gains afterwards.
+	var replayRound trace.Round
+	if e.player != nil {
+		var err error
+		replayRound, err = e.player.Next()
+		if err != nil {
+			return res, fmt.Errorf("sim: replaying round: %w", err)
+		}
+		minDelay = math.Inf(1)
+		for i, tg := range active {
+			s, ok := replayRound.Sample(tg.ID())
+			if !ok {
+				return res, fmt.Errorf("sim: %w: tag %d absent in round %d",
+					trace.ErrTagCount, tg.ID(), replayRound.Seq)
+			}
+			delays[i] = s.DelayChips * float64(spc)
+			if delays[i] < minDelay {
+				minDelay = delays[i]
+			}
+		}
+	}
+	maxEnd := 0
+	for i, tg := range active {
+		p := make([]byte, e.scn.PayloadBytes)
+		e.rng.Read(p)
+		payloads[i] = p
+		w, err := tg.Waveform(p)
+		if err != nil {
+			return res, err
+		}
+		// Re-reference delays to the earliest tag so none is clamped, then
+		// split into an integer placement offset and a fractional-sample
+		// delay. The fractional part is what starves the decoder at low
+		// oversampling (Fig. 9(a)): at one sample per chip a 0.2-chip skew
+		// cannot be re-aligned.
+		d := delays[i] - minDelay
+		off := int(d)
+		if frac := d - float64(off); frac > 1e-9 {
+			w = dsp.FractionalDelay(w, frac)
+		}
+		waves[i] = w
+		offsets[i] = off
+		if end := e.leadSamples + off + len(w); end > maxEnd {
+			maxEnd = end
+		}
+		if c := len(w) / spc; c > chipsPerFrame {
+			chipsPerFrame = c
+		}
+	}
+	tail := 2 * e.set.ChipLength() * spc
+	buf := make([]complex128, maxEnd+tail)
+
+	// Optional intermittent (OFDM) excitation gate, shared by all tags:
+	// they all reflect the same exciter.
+	var gate []float64
+	if e.scn.OFDMExcitation {
+		gate = channel.ExcitationGate(e.rng, len(buf), e.scn.SampleRateHz, 2e-3, 1e-3)
+	}
+
+	var recorded []trace.TagSample
+	for i, tg := range active {
+		dg, err := tg.DeltaGamma()
+		if err != nil {
+			return res, err
+		}
+		var link channel.Link
+		if e.player != nil {
+			s, _ := replayRound.Sample(tg.ID())
+			link = channel.Link{Gain: complex(s.GainRe, s.GainIm)}
+		} else if e.scn.StaticChannel {
+			if e.staticFading == nil {
+				e.staticFading = make([]complex128, len(e.tags))
+				for j := range e.staticFading {
+					e.staticFading[j] = e.scn.Channel.DrawFading(e.rng)
+				}
+			}
+			link = e.scn.Channel.LinkWithFading(
+				e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg,
+				e.staticFading[tg.ID()])
+		} else {
+			link = e.scn.Channel.DrawLink(e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg, e.rng)
+		}
+		if e.scn.CFOppm != 0 {
+			// Per-frame CFO draw: a uniform offset of ±CFOppm of the
+			// carrier, as a per-sample baseband phase ramp.
+			dfHz := e.scn.Channel.CarrierHz * e.scn.CFOppm / 1e6 * (2*e.rng.Float64() - 1)
+			step := 2 * math.Pi * dfHz / e.scn.SampleRateHz
+			rot := complex(math.Cos(step), math.Sin(step))
+			phasor := complex(1, 0)
+			w := waves[i]
+			for k := range w {
+				w[k] *= phasor
+				phasor *= rot
+			}
+		}
+		if e.recorder != nil {
+			recorded = append(recorded, trace.TagSample{
+				TagID:      tg.ID(),
+				GainRe:     real(link.Gain),
+				GainIm:     imag(link.Gain),
+				DelayChips: delays[i] / float64(spc),
+				Impedance:  int(tg.Impedance()),
+			})
+		}
+		base := e.leadSamples + offsets[i]
+		for k, v := range waves[i] {
+			s := v * link.Gain
+			if gate != nil {
+				s *= complex(gate[base+k], 0)
+			}
+			buf[base+k] += s
+		}
+		tg.NoteFrameSent()
+		res.sentIDs = append(res.sentIDs, tg.ID())
+	}
+
+	if e.scn.Multipath != nil {
+		buf = e.scn.Multipath.Apply(e.rng, buf, e.scn.SampleRateHz)
+	}
+	for _, intf := range e.scn.Interferers {
+		intf.Apply(e.rng, buf, e.scn.SampleRateHz)
+	}
+	channel.AWGN(e.rng, buf, e.scn.Channel.NoiseFloorW())
+	if e.recorder != nil {
+		e.recorder.Record(recorded)
+	}
+
+	// The engine is also the reader: it triggered the tags, so it knows
+	// the nominal reply start (rx.ReceiveAt's timing reference).
+	out, err := e.recv.ReceiveAt(buf, e.leadSamples)
+	if err != nil {
+		return res, err
+	}
+	res.sent = len(active)
+	res.samples = len(buf)
+	res.frames = out.Frames
+	for _, f := range out.Frames {
+		for _, tg := range active {
+			if tg.ID() == f.TagID {
+				res.detectedIDs = append(res.detectedIDs, f.TagID)
+				break
+			}
+		}
+	}
+	res.globalStart = out.GlobalStart
+	res.detected = out.FrameDetected
+	res.coarse = out.CoarseStart
+	for _, f := range out.Frames {
+		if !f.OK {
+			continue
+		}
+		idx := -1
+		for i, tg := range active {
+			if tg.ID() == f.TagID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			res.falsePos++
+			continue
+		}
+		if bytes.Equal(f.Payload, payloads[idx]) {
+			res.delivered++
+			res.deliveredIDs = append(res.deliveredIDs, active[idx].ID())
+			// The ACK downlink may itself be lossy (Scenario.AckLossProb);
+			// receiver-side delivery metrics are unaffected, only the
+			// tag's feedback loop is starved.
+			if e.scn.AckLossProb <= 0 || e.rng.Float64() >= e.scn.AckLossProb {
+				active[idx].NoteAck()
+			}
+		} else {
+			res.falsePos++
+		}
+	}
+	return res, nil
+}
+
+// Run executes the scenario. With power control enabled, the Algorithm 1
+// loop first runs as an exploration phase — measurement batches of
+// PacketsPerRound frames, impedance adjustments in between, bounded by the
+// 3×N-round budget — after which the best configuration seen is restored
+// (the hardware analogue: the controller stops cycling once the FER target
+// is met, so the system sits in the best state it found). The returned
+// metrics then cover Packets steady-state collision rounds.
+func (e *Engine) Run() (Metrics, error) {
+	if e.scn.PowerControl && e.scn.OraclePowerControl {
+		if _, err := mac.EqualizePower(e.scn.Channel, e.scn.Deployment, e.tags); err != nil {
+			return Metrics{}, err
+		}
+	}
+	var m Metrics
+	m.NumTags = e.scn.NumTags
+	m.PerTagSent = make([]int, len(e.tags))
+	m.PerTagDelivered = make([]int, len(e.tags))
+	if e.pc != nil {
+		rounds, converged, err := e.explorePowerControl()
+		if err != nil {
+			return m, err
+		}
+		m.PowerControlRounds = rounds
+		m.PowerControlConverged = converged
+	}
+	for p := 0; p < e.scn.Packets; p++ {
+		r, err := e.runRound(e.tags)
+		if err != nil {
+			return m, err
+		}
+		m.FramesSent += r.sent
+		m.FramesDelivered += r.delivered
+		m.FalseFrames += r.falsePos
+		m.AirtimeSeconds += float64(r.samples) / e.scn.SampleRateHz
+		accumulatePerTag(&m, r)
+	}
+	m.finalize(e.scn)
+	return m, nil
+}
+
+// explorePowerControl drives Algorithm 1 to convergence or budget
+// exhaustion, then restores the impedance configuration with the lowest
+// observed batch FER.
+func (e *Engine) explorePowerControl() (rounds int, converged bool, err error) {
+	snapshot := func() []tag.ImpedanceState {
+		out := make([]tag.ImpedanceState, len(e.tags))
+		for i, tg := range e.tags {
+			out[i] = tg.Impedance()
+		}
+		return out
+	}
+	restore := func(states []tag.ImpedanceState) error {
+		for i, tg := range e.tags {
+			if err := tg.SetImpedance(states[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bestFER := math.Inf(1)
+	bestStates := snapshot()
+	for {
+		batchStates := snapshot()
+		for p := 0; p < e.scn.PacketsPerRound; p++ {
+			if _, err := e.runRound(e.tags); err != nil {
+				return rounds, false, err
+			}
+		}
+		out, err := e.pc.Round(e.tags)
+		if err != nil {
+			return rounds, false, err
+		}
+		rounds++
+		if out.FER < bestFER {
+			bestFER = out.FER
+			bestStates = batchStates
+		}
+		if out.Converged {
+			return rounds, true, restore(bestStates)
+		}
+		if out.Exhausted {
+			return rounds, false, restore(bestStates)
+		}
+	}
+}
+
+// RunWithPositions re-homes the tag population to the given positions and
+// runs — the macro deployment experiments sweep many random placements.
+func (e *Engine) RunWithPositions(positions []geom.Point) (Metrics, error) {
+	if len(positions) < len(e.tags) {
+		return Metrics{}, ErrNoPositions
+	}
+	for i, tg := range e.tags {
+		tg.MoveTo(positions[i])
+		tg.ResetAckWindow()
+	}
+	return e.Run()
+}
+
+// RunSchedule runs one collision round per schedule entry, with only the
+// listed tag IDs transmitting in that round — the primitive beneath the
+// TDMA baseline (one ID per entry) and the user-detection experiment
+// (random subsets). Invalid IDs are rejected.
+func (e *Engine) RunSchedule(schedule [][]int) (Metrics, error) {
+	var m Metrics
+	m.NumTags = e.scn.NumTags
+	m.PerTagSent = make([]int, len(e.tags))
+	m.PerTagDelivered = make([]int, len(e.tags))
+	for _, ids := range schedule {
+		active := make([]*tag.Tag, 0, len(ids))
+		for _, id := range ids {
+			if id < 0 || id >= len(e.tags) {
+				return m, fmt.Errorf("sim: schedule references tag %d of %d", id, len(e.tags))
+			}
+			active = append(active, e.tags[id])
+		}
+		r, err := e.runRound(active)
+		if err != nil {
+			return m, err
+		}
+		m.FramesSent += r.sent
+		m.FramesDelivered += r.delivered
+		m.FalseFrames += r.falsePos
+		m.AirtimeSeconds += float64(r.samples) / e.scn.SampleRateHz
+		accumulatePerTag(&m, r)
+	}
+	m.finalize(e.scn)
+	return m, nil
+}
+
+// accumulatePerTag folds one round's per-tag counters into the metrics.
+func accumulatePerTag(m *Metrics, r roundResult) {
+	m.FramesDetected += len(r.detectedIDs)
+	for _, id := range r.sentIDs {
+		if id >= 0 && id < len(m.PerTagSent) {
+			m.PerTagSent[id]++
+		}
+	}
+	for _, id := range r.deliveredIDs {
+		if id >= 0 && id < len(m.PerTagDelivered) {
+			m.PerTagDelivered[id]++
+		}
+	}
+}

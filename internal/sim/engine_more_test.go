@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"cbma/internal/pn"
+	"cbma/internal/tag"
+)
+
+func TestRunScheduleTDMAStyle(t *testing.T) {
+	scn := fastScenario()
+	scn.NumTags = 3
+	scn.Packets = 1
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.RunSchedule([][]int{{0}, {1}, {2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FramesSent != 4 {
+		t.Errorf("sent %d, want 4", m.FramesSent)
+	}
+	if m.PerTagSent[0] != 2 || m.PerTagSent[1] != 1 || m.PerTagSent[2] != 1 {
+		t.Errorf("per-tag sent %v", m.PerTagSent)
+	}
+	// Uncontended slots at 1 m deliver.
+	if m.FER > 0.5 {
+		t.Errorf("FER %v", m.FER)
+	}
+}
+
+func TestRunScheduleRejectsBadIDs(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = 1
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunSchedule([][]int{{5}}); err == nil {
+		t.Fatal("out-of-range tag ID must fail")
+	}
+	if _, err := e.RunSchedule([][]int{{}}); !errors.Is(err, ErrBadTagCount) {
+		t.Fatalf("empty round: got %v, want ErrBadTagCount", err)
+	}
+}
+
+func TestImpedanceStatesOverride(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = 1
+	scn.ImpedanceStates = 8
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tags must accept all 8 states of the synthetic ladder.
+	tg := e.Tags()[0]
+	if err := tg.SetImpedance(8); err != nil {
+		t.Errorf("state 8 must be valid with an 8-state bank: %v", err)
+	}
+	if err := tg.SetImpedance(9); err == nil {
+		t.Error("state 9 must be rejected")
+	}
+	scn.ImpedanceStates = -1
+	if _, err := NewEngine(scn); err == nil {
+		t.Error("negative state count must fail")
+	}
+}
+
+func TestRandomInitialImpedanceVariesStates(t *testing.T) {
+	scn := fastScenario()
+	scn.NumTags = 10
+	scn.Deployment.Tags = nil
+	scn.Packets = 1
+	scn.RandomInitialImpedance = true
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[tag.ImpedanceState]bool{}
+	for _, tg := range e.Tags() {
+		seen[tg.Impedance()] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("10 random boots landed in %d distinct states", len(seen))
+	}
+}
+
+func TestStaticChannelFreezesOutcomePattern(t *testing.T) {
+	// Under a static channel, a tag either always or never delivers at a
+	// given placement (no per-frame fading flips) as long as MAI is absent.
+	scn := fastScenario()
+	scn.NumTags = 1
+	scn.Packets = packets(t, 30)
+	scn.StaticChannel = true
+	scn.TagLineDistance = 1
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FramesDelivered != m.FramesSent && m.FramesDelivered != 0 {
+		t.Errorf("static single-tag channel delivered %d of %d — expected all or nothing",
+			m.FramesDelivered, m.FramesSent)
+	}
+}
+
+func TestSICScenarioFlagReachesReceiver(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = 1
+	scn.SIC = true
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Receiver().Config().SIC {
+		t.Error("SIC flag not propagated to receiver config")
+	}
+}
+
+func TestRunParallelCoversAllIndices(t *testing.T) {
+	hits := make([]int, 100)
+	err := RunParallel(100, func(i int) error {
+		hits[i]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := RunParallel(10, func(i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestRunParallelZeroTasks(t *testing.T) {
+	if err := RunParallel(0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllFamiliesStillRunWithSIC(t *testing.T) {
+	for _, fam := range []pn.Family{pn.FamilyGold, pn.Family2NC} {
+		scn := fastScenario()
+		scn.Family = fam
+		scn.SIC = true
+		scn.Packets = packets(t, 16)
+		e, err := NewEngine(scn)
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		m, err := e.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		if m.FER > 0.3 {
+			t.Errorf("%v with SIC: FER %v", fam, m.FER)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"cbma/internal/pn"
+)
+
+func TestSweepDistanceShape(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 60)
+	series, err := SweepDistance(scn, []float64{1, 4}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.Points))
+		}
+		if s.Points[1].Metrics.FER < s.Points[0].Metrics.FER {
+			t.Errorf("series %q: FER at 4 m (%v) below 1 m (%v)",
+				s.Name, s.Points[1].Metrics.FER, s.Points[0].Metrics.FER)
+		}
+	}
+}
+
+func TestSweepTxPowerShape(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 60)
+	scn.TagLineDistance = 3
+	series, err := SweepTxPower(scn, []float64{-5, 20}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if pts[0].Metrics.FER <= pts[1].Metrics.FER {
+		t.Errorf("FER at -5 dBm (%v) must exceed 20 dBm (%v)",
+			pts[0].Metrics.FER, pts[1].Metrics.FER)
+	}
+}
+
+func TestSweepPreambleShape(t *testing.T) {
+	// Note: unlike the paper's envelope receiver, this coherent receiver's
+	// detection is limited by per-sample SNR (a scale-free normalized
+	// correlation), not by integration length, so preamble length buys
+	// little — EXPERIMENTS.md discusses the divergence from Fig. 8(c).
+	// The sweep must still run and longer preambles must not make
+	// detection meaningfully worse.
+	scn := fastScenario()
+	scn.Packets = packets(t, 60)
+	scn.NumTags = 4
+	scn.TagLineDistance = 3.5
+	series, err := SweepPreamble(scn, []int{4, 64}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if pts[1].Metrics.DetectionFER > pts[0].Metrics.DetectionFER+0.1 {
+		t.Errorf("64-bit preamble detection FER (%v) much worse than 4-bit (%v)",
+			pts[1].Metrics.DetectionFER, pts[0].Metrics.DetectionFER)
+	}
+}
+
+func TestSweepBitrateRuns(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 40)
+	series, err := SweepBitrate(scn, []float64{1e6, 20e6}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	// At 20 Mcps the receiver has 1 sample per chip — decidedly worse.
+	if pts[1].Metrics.FER <= pts[0].Metrics.FER && pts[1].Metrics.FER < 0.01 {
+		t.Errorf("sampling-starved FER (%v) suspiciously low vs well-sampled (%v)",
+			pts[1].Metrics.FER, pts[0].Metrics.FER)
+	}
+}
+
+func TestSweepCodesOrdering(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 80)
+	series, err := SweepCodes(scn, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gold, twoNC float64
+	for _, s := range series {
+		if s.Name == pn.FamilyGold.String() {
+			gold = s.Points[0].Metrics.FER
+		}
+		if s.Name == pn.Family2NC.String() {
+			twoNC = s.Points[0].Metrics.FER
+		}
+	}
+	if twoNC > gold+0.02 {
+		t.Errorf("2NC FER (%v) should not exceed Gold (%v) at 5 tags — Fig. 9(b)", twoNC, gold)
+	}
+}
+
+func TestUserDetectionAccuracy(t *testing.T) {
+	scn := fastScenario()
+	trials := packets(t, 60)
+	res, err := UserDetection(scn, 10, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != trials {
+		t.Fatalf("trials %d", res.Trials)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("10-tag user detection accuracy %v, paper reports 99.9%%", res.Accuracy)
+	}
+}
+
+func TestSweepAsyncShape(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 80)
+	s, err := SweepAsync(scn, []float64{0, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("%d points", len(s.Points))
+	}
+	sync := s.Points[0].Metrics.FER
+	async := s.Points[1].Metrics.FER
+	if async < sync {
+		t.Errorf("delayed FER (%v) must not beat synchronized FER (%v) — Fig. 11", async, sync)
+	}
+}
+
+func TestWorkingConditionsOrdering(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 60)
+	pts, err := WorkingConditions(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d conditions", len(pts))
+	}
+	byLabel := map[string]float64{}
+	for _, p := range pts {
+		byLabel[p.Label] = p.Metrics.PRR
+	}
+	if byLabel[CondOFDM] >= byLabel[CondClean] {
+		t.Errorf("OFDM excitation PRR (%v) must drop well below clean (%v) — Fig. 12",
+			byLabel[CondOFDM], byLabel[CondClean])
+	}
+	if byLabel[CondWiFi] > byLabel[CondClean]+0.05 {
+		t.Errorf("WiFi-interference PRR (%v) cannot beat clean (%v)",
+			byLabel[CondWiFi], byLabel[CondClean])
+	}
+}
+
+func TestPowerDifferenceTableShape(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 40)
+	rows, err := PowerDifferenceTable(scn, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Aggregate check: small-difference pairs must have a lower mean error
+	// rate than large-difference pairs (Table II's conclusion).
+	var loSum, hiSum float64
+	var loN, hiN int
+	for _, r := range rows {
+		if r.Difference < 0.5 {
+			loSum += r.ErrorRate
+			loN++
+		} else {
+			hiSum += r.ErrorRate
+			hiN++
+		}
+		if r.Difference < 0 || r.Difference > 1 {
+			t.Errorf("difference %v out of [0,1]", r.Difference)
+		}
+	}
+	if loN > 0 && hiN > 0 && loSum/float64(loN) > hiSum/float64(hiN) {
+		t.Errorf("balanced pairs (mean FER %v over %d) should beat imbalanced (%v over %d)",
+			loSum/float64(loN), loN, hiSum/float64(hiN), hiN)
+	}
+}
+
+func TestSweepPowerControlRuns(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 40)
+	series, err := SweepPowerControl(scn, []int{3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %q: %d points", s.Name, len(s.Points))
+		}
+		if f := s.Points[0].Metrics.FER; f < 0 || f > 1 {
+			t.Errorf("series %q FER %v out of range", s.Name, f)
+		}
+	}
+}

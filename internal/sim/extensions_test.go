@@ -1,0 +1,110 @@
+package sim
+
+import "testing"
+
+func TestCFOBreaksCoherentDecodingWithoutTracking(t *testing.T) {
+	scn := fastScenario()
+	scn.NumTags = 2
+	scn.Packets = packets(t, 60)
+	scn.CFOppm = 0.5 // 1 kHz at 2 GHz — several phase rotations per frame
+
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FER < 0.3 {
+		t.Errorf("0.5 ppm CFO without tracking should be destructive, FER %v", m.FER)
+	}
+}
+
+func TestPhaseTrackingRestoresDecodingUnderCFO(t *testing.T) {
+	scn := fastScenario()
+	scn.NumTags = 2
+	scn.Packets = packets(t, 60)
+	scn.CFOppm = 0.5
+	scn.PhaseTracking = true
+
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FER > 0.1 {
+		t.Errorf("phase tracking should restore decoding under CFO, FER %v", m.FER)
+	}
+}
+
+func TestPhaseTrackingHarmlessWithoutCFO(t *testing.T) {
+	scn := fastScenario()
+	scn.Packets = packets(t, 60)
+	scn.PhaseTracking = true
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FER > 0.1 {
+		t.Errorf("tracking on a static channel must stay clean, FER %v", m.FER)
+	}
+}
+
+func TestAckLossStarvesPowerControlFeedback(t *testing.T) {
+	scn := fastScenario()
+	scn.NumTags = 2
+	scn.Packets = packets(t, 40)
+	scn.AckLossProb = 1.0 // downlink dead: every frame looks unacked
+	scn.PowerControl = true
+	scn.PacketsPerRound = 10
+
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no ACKs ever heard, Algorithm 1 sees FER 1 at every round and
+	// burns its full budget (3 × numTags rounds) without converging.
+	if m.PowerControlConverged {
+		t.Error("a dead ACK downlink cannot converge")
+	}
+	if m.PowerControlRounds != 6 {
+		t.Errorf("rounds %d, want the full 3×2 budget", m.PowerControlRounds)
+	}
+	// Receiver-side delivery is unaffected by downlink loss.
+	if m.FER > 0.1 {
+		t.Errorf("delivery must not depend on the ACK downlink, FER %v", m.FER)
+	}
+}
+
+func TestAckLossZeroMatchesBaseline(t *testing.T) {
+	run := func(loss float64) Metrics {
+		scn := fastScenario()
+		scn.Packets = packets(t, 20)
+		scn.AckLossProb = loss
+		e, err := NewEngine(scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(0), run(0)
+	if a.FramesDelivered != b.FramesDelivered {
+		t.Error("zero loss must be deterministic across runs")
+	}
+}

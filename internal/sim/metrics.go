@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+
+	"cbma/internal/stats"
+)
+
+// Metrics aggregates one scenario run.
+type Metrics struct {
+	// NumTags is the concurrent tag count of the run.
+	NumTags int
+	// FramesSent counts transmitted frames across all tags; FramesDetected
+	// those whose sender was found by user detection (regardless of CRC);
+	// FramesDelivered those decoded with valid CRC and matching payload.
+	FramesSent      int
+	FramesDetected  int
+	FramesDelivered int
+	// FalseFrames counts CRC-valid decodes whose payload did not match any
+	// transmission — misattributions, which a deployed system would ACK
+	// incorrectly.
+	FalseFrames int
+	// AirtimeSeconds is the simulated on-air time.
+	AirtimeSeconds float64
+	// PowerControlRounds counts Algorithm 1 adjustment rounds executed;
+	// PowerControlConverged reports whether the FER target was met.
+	PowerControlRounds    int
+	PowerControlConverged bool
+	// PerTagSent and PerTagDelivered count frames per tag ID — the
+	// delivery ratios node selection uses to mark "bad" tags.
+	PerTagSent      []int
+	PerTagDelivered []int
+
+	// Derived (filled by finalize):
+
+	// FER is the paper's error metric: missing frames over transmitted
+	// frames (§IV: "the number of missing packets over the total number of
+	// transmitted packets").
+	FER float64
+	// PRR is the complementary packet reception rate.
+	PRR float64
+	// DetectionFER is the frame-detection error rate — the metric of the
+	// §VII-B1 micro benchmarks (Fig. 8, Fig. 9(a)): the fraction of
+	// transmitted frames whose sender was never detected, independent of
+	// whether the payload then survived the CRC.
+	DetectionFER float64
+	// GoodputBps is decoded payload bits per second of airtime across the
+	// whole tag population.
+	GoodputBps float64
+	// RawAggregateBps is the population's on-air OOK symbol rate — the
+	// "multi-tag bit rate" headline metric of the paper (N tags × chip
+	// rate), before despreading.
+	RawAggregateBps float64
+}
+
+// TagDeliveryRatio returns delivered/sent for one tag, or zero before any
+// frame was attributed to it.
+func (m Metrics) TagDeliveryRatio(id int) float64 {
+	if id < 0 || id >= len(m.PerTagSent) || m.PerTagSent[id] == 0 {
+		return 0
+	}
+	return float64(m.PerTagDelivered[id]) / float64(m.PerTagSent[id])
+}
+
+// finalize derives the rate metrics from the counters.
+func (m *Metrics) finalize(scn Scenario) {
+	m.FER = 1 - stats.RatioOrZero(float64(m.FramesDelivered), float64(m.FramesSent))
+	m.PRR = 1 - m.FER
+	m.DetectionFER = 1 - stats.RatioOrZero(float64(m.FramesDetected), float64(m.FramesSent))
+	payloadBits := float64(8 * scn.PayloadBytes)
+	m.GoodputBps = stats.RatioOrZero(float64(m.FramesDelivered)*payloadBits, m.AirtimeSeconds)
+	m.RawAggregateBps = float64(m.NumTags) * scn.ChipRateHz * m.PRR
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("tags=%d sent=%d delivered=%d FER=%.4f goodput=%.0f bps raw=%.0f bps",
+		m.NumTags, m.FramesSent, m.FramesDelivered, m.FER, m.GoodputBps, m.RawAggregateBps)
+}

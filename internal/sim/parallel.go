@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunParallel executes fn(0) … fn(n−1) across up to GOMAXPROCS worker
+// goroutines and returns the first error encountered (all scheduled work
+// still completes — engines are cheap to finish and results land in
+// caller-owned, index-disjoint slots). Each invocation must be independent:
+// engines, tags and RNGs are single-goroutine objects, so every fn(i) must
+// build its own.
+func RunParallel(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

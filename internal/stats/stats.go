@@ -1,0 +1,195 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness uses: means, standard deviations, percentiles, empirical CDFs
+// (Fig. 10 of the paper plots CDFs of error rate), histograms and Wilson
+// score intervals for the error-rate estimates.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one sample.
+var ErrEmpty = errors.New("stats: no samples")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator) of xs.
+// A single sample has zero deviation by convention.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1)), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples (copied and sorted).
+func NewCDF(xs []float64) (*CDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}, nil
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	idx := sort.SearchFloat64s(c.sorted, x)
+	// Move past equal elements so At is right-continuous (≤, not <).
+	for idx < len(c.sorted) && c.sorted[idx] <= x {
+		idx++
+	}
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the smallest sample x with P(X ≤ x) ≥ q, clamping q to
+// (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx]
+}
+
+// Points returns the CDF as (x, P(X ≤ x)) pairs at each distinct sample —
+// directly plottable, which is how the Fig. 10 series are emitted.
+func (c *CDF) Points() (xs, ps []float64) {
+	n := len(c.sorted)
+	for i := 0; i < n; i++ {
+		if i+1 < n && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	return xs, ps
+}
+
+// WilsonInterval returns the 95% Wilson score confidence interval for a
+// binomial proportion with k successes out of n trials. It is well-behaved
+// at the extremes (k=0, k=n), where the normal approximation fails — exactly
+// the regime of sub-1% frame error rates.
+func WilsonInterval(k, n int) (lo, hi float64, err error) {
+	if n <= 0 {
+		return 0, 0, ErrEmpty
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	const z = 1.959963984540054 // 97.5th normal percentile
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// Histogram counts samples into nbins equal-width bins spanning [min, max].
+// Samples outside the range clamp to the edge bins.
+func Histogram(xs []float64, min, max float64, nbins int) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if nbins <= 0 || max <= min {
+		return nil, errors.New("stats: invalid histogram spec")
+	}
+	counts := make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts, nil
+}
+
+// RatioOrZero returns num/den, or zero when den is zero — the common "no
+// packets were sent" guard in the metric plumbing.
+func RatioOrZero(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

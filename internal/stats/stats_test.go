@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", got)
+	}
+	one, err := StdDev([]float64{42})
+	if err != nil || one != 0 {
+		t.Errorf("single sample: %v, %v", one, err)
+	}
+	if _, err := StdDev(nil); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {-5, 10}, {200, 40},
+	}
+	for _, tc := range tests {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+	single, err := Percentile([]float64{7}, 99)
+	if err != nil || single != 7 {
+		t.Errorf("single: %v, %v", single, err)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input reordered")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Errorf("odd median = %v, %v", m, err)
+	}
+	m, err = Median([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("even median = %v, %v", m, err)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if _, err := NewCDF(nil); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c, err := NewCDF([]float64{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 10}, {0.5, 20}, {0.75, 30}, {1, 40}, {2, 40},
+	}
+	for _, tc := range tests {
+		if got := c.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestCDFPointsMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = math.Round(r.Float64()*10) / 10 // force duplicates
+	}
+	c, err := NewCDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, pp := c.Points()
+	if len(px) != len(pp) || len(px) == 0 {
+		t.Fatalf("points: %d xs, %d ps", len(px), len(pp))
+	}
+	for i := 1; i < len(px); i++ {
+		if px[i] <= px[i-1] {
+			t.Fatalf("x not strictly increasing at %d", i)
+		}
+		if pp[i] <= pp[i-1] {
+			t.Fatalf("p not strictly increasing at %d", i)
+		}
+	}
+	if pp[len(pp)-1] != 1 {
+		t.Errorf("last p = %v, want 1", pp[len(pp)-1])
+	}
+}
+
+func TestCDFAtAgreesWithQuantile(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			if c.At(c.Quantile(q)) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi, err := WilsonInterval(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Errorf("k=0 lower bound %v, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.05 {
+		t.Errorf("k=0 n=100 upper bound %v, want small positive", hi)
+	}
+	lo, hi, err = WilsonInterval(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("k=50 n=100 interval [%v, %v] must bracket 0.5", lo, hi)
+	}
+	if _, _, err := WilsonInterval(1, 0); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+	// Out-of-range k clamps instead of panicking.
+	lo, hi, err = WilsonInterval(200, 100)
+	if err != nil || hi != 1 || lo <= 0.9 {
+		t.Errorf("clamped interval [%v,%v], err %v", lo, hi, err)
+	}
+}
+
+func TestWilsonIntervalShrinksWithN(t *testing.T) {
+	_, hiSmall, err := WilsonInterval(5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loSmall, _, _ := WilsonInterval(5, 50)
+	loBig, hiBig, _ := WilsonInterval(500, 5000)
+	if hiBig-loBig >= hiSmall-loSmall {
+		t.Error("interval must shrink as n grows at fixed proportion")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, err := Histogram([]float64{0.1, 0.5, 0.9, -1, 2}, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 || counts[1] != 3 { // -1 clamps low, 2 clamps high
+		t.Errorf("counts = %v", counts)
+	}
+	if _, err := Histogram(nil, 0, 1, 2); err != ErrEmpty {
+		t.Errorf("got %v, want ErrEmpty", err)
+	}
+	if _, err := Histogram([]float64{1}, 1, 0, 2); err == nil {
+		t.Error("max <= min must fail")
+	}
+	if _, err := Histogram([]float64{1}, 0, 1, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+}
+
+func TestRatioOrZero(t *testing.T) {
+	if got := RatioOrZero(3, 4); got != 0.75 {
+		t.Errorf("got %v", got)
+	}
+	if got := RatioOrZero(3, 0); got != 0 {
+		t.Errorf("zero denominator: %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+// Package tag models the CBMA backscatter tag: the four-state antenna
+// impedance bank behind the paper's power-control scheme (§V-B, §VI), the
+// square-wave subcarrier modulator (Eq. 2–3), and the framing → PN encoding
+// → OOK pipeline of §III-A. A tag has no RF front end and no ADC; everything
+// it does reduces to choosing when, and through which load, to reflect the
+// excitation signal.
+package tag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ImpedanceState selects one of the tag's reflection loads. States start at
+// one; the zero value is invalid so an unset state is caught early.
+type ImpedanceState int
+
+// NumImpedanceStates is the size of the hardware bank: the paper's PCB
+// routes the SPDT switch among four components (§VI).
+const NumImpedanceStates = 4
+
+// ErrBadImpedance is returned for out-of-range impedance states.
+var ErrBadImpedance = errors.New("tag: impedance state out of range")
+
+// Bank is the antenna load bank. The paper's components are a 3 pF
+// capacitor, a 1 pF capacitor, an open circuit and a 2 nH inductor
+// (HMC190B SPDT, §VI). A purely reactive load always reflects with |Γ| = 1,
+// which would make every state equally strong; what differentiates the
+// states in practice is the loss in each branch — component ESR plus switch
+// on-resistance — so the bank models each load as reactance + series
+// resistance. The default resistances are chosen to give a monotone
+// |ΔΓ| ladder spanning ≈5 dB of backscatter power, which is what the
+// power-control loop climbs. DESIGN.md records this as the hardware
+// substitution for the PCB measurements.
+type Bank struct {
+	// AntennaOhms is the antenna impedance the loads terminate (50 Ω).
+	AntennaOhms complex128
+	// Loads holds the reflection-state load impedances, ordered from the
+	// weakest backscatter state (index 0 = state 1) to the strongest.
+	Loads []complex128
+}
+
+// DefaultBank returns the four-state bank at the paper's 2 GHz carrier.
+func DefaultBank() Bank {
+	const (
+		freq = 2e9
+		w    = 2 * math.Pi * freq
+	)
+	capZ := func(farads, esr float64) complex128 {
+		return complex(esr, -1/(w*farads))
+	}
+	indZ := func(henries, esr float64) complex128 {
+		return complex(esr, w*henries)
+	}
+	return Bank{
+		AntennaOhms: 50,
+		Loads: []complex128{
+			capZ(1e-12, 94),         // state 1: 1 pF, lossiest branch → |ΔΓ| ≈ 0.55
+			capZ(3e-12, 13.8),       // state 2: 3 pF → ≈ 0.65
+			indZ(2e-9, 9),           // state 3: 2 nH → ≈ 0.75
+			complex(math.Inf(1), 0), // state 4: open → |Γ| = 1, strongest
+		},
+	}
+}
+
+// Gamma returns the reflection coefficient Γ = (Z_L − Z_a*) / (Z_L + Z_a)
+// of the load selected by state.
+func (b Bank) Gamma(state ImpedanceState) (complex128, error) {
+	if state < 1 || int(state) > len(b.Loads) {
+		return 0, fmt.Errorf("%w: %d (bank has %d)", ErrBadImpedance, state, len(b.Loads))
+	}
+	zl := b.Loads[state-1]
+	if cmplx.IsInf(zl) {
+		return 1, nil // open circuit reflects everything
+	}
+	za := b.AntennaOhms
+	return (zl - cmplx.Conj(za)) / (zl + za), nil
+}
+
+// DeltaGamma returns |ΔΓ| for the OOK toggle between the selected reflect
+// state and the matched absorb state (Γ = 0), i.e. |Γ_state − 0|. This is
+// the backscatter coefficient that enters Eq. 1's |ΔΓ|²/4 term.
+func (b Bank) DeltaGamma(state ImpedanceState) (float64, error) {
+	g, err := b.Gamma(state)
+	if err != nil {
+		return 0, err
+	}
+	return cmplx.Abs(g), nil
+}
+
+// States returns the number of selectable impedance states.
+func (b Bank) States() int { return len(b.Loads) }
+
+// Ladder returns |ΔΓ| for every state in order — the power-control
+// staircase. It is primarily a diagnostic/reporting helper.
+func (b Bank) Ladder() ([]float64, error) {
+	out := make([]float64, len(b.Loads))
+	for i := range b.Loads {
+		dg, err := b.DeltaGamma(ImpedanceState(i + 1))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dg
+	}
+	return out, nil
+}
+
+// UniformBank builds a synthetic bank with n states whose |ΔΓ| values are
+// evenly spaced in (0, 1] — used by the impedance-granularity ablation
+// (DESIGN.md ablation 2) to compare 2-, 4- and 8-state hardware.
+func UniformBank(n int) (Bank, error) {
+	if n < 1 {
+		return Bank{}, fmt.Errorf("%w: need at least one state", ErrBadImpedance)
+	}
+	loads := make([]complex128, n)
+	for i := range loads {
+		target := float64(i+1) / float64(n) // |Γ| for state i+1
+		// Solve a purely resistive load for the target |Γ|:
+		// Γ = (R−50)/(R+50) → R = 50(1−|Γ|)/(1+|Γ|) (reflective branch).
+		r := 50 * (1 - target) / (1 + target)
+		loads[i] = complex(r, 0)
+	}
+	// A resistive load below 50 Ω gives Γ negative-real with |Γ| = target.
+	return Bank{AntennaOhms: 50, Loads: loads}, nil
+}

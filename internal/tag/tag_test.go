@@ -1,0 +1,314 @@
+package tag
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cbma/internal/dsp"
+	"cbma/internal/frame"
+	"cbma/internal/geom"
+	"cbma/internal/pn"
+)
+
+func testCode(t *testing.T) pn.Code {
+	t.Helper()
+	s, err := pn.NewGoldSet(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Codes[0]
+}
+
+func newTestTag(t *testing.T) *Tag {
+	t.Helper()
+	tg, err := New(0, Config{Code: testCode(t), SamplesPerChip: 2}, geom.Point{Y: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestDefaultBankLadderMonotone(t *testing.T) {
+	b := DefaultBank()
+	if b.States() != NumImpedanceStates {
+		t.Fatalf("states = %d, want %d", b.States(), NumImpedanceStates)
+	}
+	ladder, err := b.Ladder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Errorf("ladder not strictly increasing at %d: %v", i, ladder)
+		}
+	}
+	// Strongest state is the open circuit with |Γ| = 1.
+	if math.Abs(ladder[len(ladder)-1]-1) > 1e-12 {
+		t.Errorf("open state |ΔΓ| = %v, want 1", ladder[len(ladder)-1])
+	}
+	// The ladder must span a useful power-control range (≥ 4 dB), enough to
+	// correct the >50% power differences of Table II.
+	span := dsp.DB(ladder[len(ladder)-1] * ladder[len(ladder)-1] /
+		(ladder[0] * ladder[0]))
+	if span < 4 {
+		t.Errorf("power-control span %.1f dB, want ≥ 4 dB (ladder %v)", span, ladder)
+	}
+}
+
+func TestBankGammaBounds(t *testing.T) {
+	b := DefaultBank()
+	for s := 1; s <= b.States(); s++ {
+		g, err := b.Gamma(ImpedanceState(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mag := real(g)*real(g) + imag(g)*imag(g); mag > 1+1e-12 {
+			t.Errorf("state %d: |Γ|² = %v > 1 (passive load cannot amplify)", s, mag)
+		}
+	}
+}
+
+func TestBankGammaOutOfRange(t *testing.T) {
+	b := DefaultBank()
+	for _, s := range []ImpedanceState{0, -1, 5} {
+		if _, err := b.Gamma(s); !errors.Is(err, ErrBadImpedance) {
+			t.Errorf("state %d: got %v, want ErrBadImpedance", s, err)
+		}
+	}
+}
+
+func TestUniformBankSpacing(t *testing.T) {
+	b, err := UniformBank(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := b.Ladder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, dg := range ladder {
+		want := float64(i+1) / 8
+		if math.Abs(dg-want) > 1e-9 {
+			t.Errorf("state %d |ΔΓ| = %v, want %v", i+1, dg, want)
+		}
+	}
+	if _, err := UniformBank(0); err == nil {
+		t.Error("zero states must fail")
+	}
+}
+
+func TestSquareWaveHarmonics(t *testing.T) {
+	// Paper §VI: third harmonic ≈9.5 dB and fifth ≈14 dB below fundamental.
+	if got := HarmonicPowerDB(3); math.Abs(got-(-9.54)) > 0.05 {
+		t.Errorf("3rd harmonic %v dB, want ≈ -9.54", got)
+	}
+	if got := HarmonicPowerDB(5); math.Abs(got-(-13.98)) > 0.05 {
+		t.Errorf("5th harmonic %v dB, want ≈ -13.98", got)
+	}
+	if !math.IsInf(HarmonicPowerDB(2), -1) || !math.IsInf(HarmonicPowerDB(0), -1) {
+		t.Error("even/zero harmonics must be -Inf")
+	}
+}
+
+func TestSquareWaveFourierConverges(t *testing.T) {
+	// With many harmonics the Fourier series approaches ±1 away from edges.
+	const f = 1.0
+	for _, x := range []float64{0.1, 0.2, 0.35} {
+		got := SquareWaveFourier(f, x, 199)
+		want := SquareWave(f, x)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("t=%v: fourier %v, square %v", x, got, want)
+		}
+	}
+}
+
+func TestSquareWaveSign(t *testing.T) {
+	if SquareWave(1, 0.25) != 1 || SquareWave(1, 0.75) != -1 {
+		t.Error("square wave sign wrong")
+	}
+}
+
+func TestNewTagDefaults(t *testing.T) {
+	tg := newTestTag(t)
+	if tg.ID() != 0 {
+		t.Errorf("ID = %d", tg.ID())
+	}
+	// Powers up at the strongest state.
+	if tg.Impedance() != ImpedanceState(NumImpedanceStates) {
+		t.Errorf("initial impedance %d, want %d", tg.Impedance(), NumImpedanceStates)
+	}
+	if tg.Position().Y != 1 {
+		t.Errorf("position %v", tg.Position())
+	}
+}
+
+func TestNewTagValidation(t *testing.T) {
+	if _, err := New(0, Config{}, geom.Point{}); err == nil {
+		t.Error("missing code must fail")
+	}
+	if _, err := New(0, Config{Code: testCode(t), SamplesPerChip: -1}, geom.Point{}); !errors.Is(err, ErrBadSamplesPerChip) {
+		t.Error("negative samples per chip must fail")
+	}
+}
+
+func TestStepImpedanceCyclesLikeAlgorithm1(t *testing.T) {
+	tg := newTestTag(t)
+	// Starts at 4 (max) → wraps to 1, then 2, 3, 4, 1 …
+	want := []ImpedanceState{1, 2, 3, 4, 1}
+	for i, w := range want {
+		tg.StepImpedance()
+		if tg.Impedance() != w {
+			t.Fatalf("step %d: state %d, want %d", i, tg.Impedance(), w)
+		}
+	}
+}
+
+func TestSetImpedanceValidation(t *testing.T) {
+	tg := newTestTag(t)
+	if err := tg.SetImpedance(2); err != nil {
+		t.Fatal(err)
+	}
+	if tg.Impedance() != 2 {
+		t.Errorf("state %d", tg.Impedance())
+	}
+	if err := tg.SetImpedance(0); !errors.Is(err, ErrBadImpedance) {
+		t.Error("state 0 must fail")
+	}
+	if err := tg.SetImpedance(9); !errors.Is(err, ErrBadImpedance) {
+		t.Error("state 9 must fail")
+	}
+}
+
+func TestDeltaGammaTracksImpedance(t *testing.T) {
+	tg := newTestTag(t)
+	var prev float64
+	for s := 1; s <= NumImpedanceStates; s++ {
+		if err := tg.SetImpedance(ImpedanceState(s)); err != nil {
+			t.Fatal(err)
+		}
+		dg, err := tg.DeltaGamma()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dg <= prev {
+			t.Errorf("state %d |ΔΓ| %v not above previous %v", s, dg, prev)
+		}
+		prev = dg
+	}
+}
+
+func TestEncodeFrameStructure(t *testing.T) {
+	tg := newTestTag(t)
+	payload := []byte{0xDE, 0xAD}
+	chips, err := tg.EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := (frame.Config{}).BitLength(len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != bits*tg.Code().Length() {
+		t.Errorf("chips %d, want %d", len(chips), bits*tg.Code().Length())
+	}
+	// First bit of the preamble is 1 → first chips must equal code.One.
+	for i, c := range tg.Code().One {
+		if chips[i] != c {
+			t.Fatalf("chip %d = %d, want code.One (%d)", i, chips[i], c)
+		}
+	}
+	// Second bit (0) → next chips are code.Zero.
+	l := tg.Code().Length()
+	for i, c := range tg.Code().Zero {
+		if chips[l+i] != c {
+			t.Fatalf("chip %d = %d, want code.Zero (%d)", l+i, chips[l+i], c)
+		}
+	}
+}
+
+func TestEncodeFrameOversized(t *testing.T) {
+	tg := newTestTag(t)
+	if _, err := tg.EncodeFrame(make([]byte, frame.MaxPayload+1)); err == nil {
+		t.Error("oversized payload must fail")
+	}
+}
+
+func TestWaveformUpsampling(t *testing.T) {
+	tg := newTestTag(t)
+	payload := []byte{0x42}
+	chips, err := tg.EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := tg.Waveform(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wave) != 2*len(chips) { // SamplesPerChip = 2
+		t.Fatalf("wave %d samples, want %d", len(wave), 2*len(chips))
+	}
+	for i, c := range chips {
+		want := complex(float64(c), 0)
+		if wave[2*i] != want || wave[2*i+1] != want {
+			t.Fatalf("chip %d not held for 2 samples", i)
+		}
+	}
+}
+
+func TestFrameChips(t *testing.T) {
+	tg := newTestTag(t)
+	got, err := tg.FrameChips(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (8 + 8 + 80 + 16) * 31
+	if got != want {
+		t.Errorf("FrameChips(10) = %d, want %d", got, want)
+	}
+	if _, err := tg.FrameChips(4000); err == nil {
+		t.Error("oversized payload must fail")
+	}
+}
+
+func TestAckBookkeeping(t *testing.T) {
+	tg := newTestTag(t)
+	if tg.AckRatio() != 0 {
+		t.Error("ratio before any frame must be 0")
+	}
+	for i := 0; i < 4; i++ {
+		tg.NoteFrameSent()
+	}
+	tg.NoteAck()
+	tg.NoteAck()
+	tg.NoteAck()
+	if got := tg.AckRatio(); got != 0.75 {
+		t.Errorf("AckRatio = %v, want 0.75", got)
+	}
+	tg.ResetAckWindow()
+	if tg.AckRatio() != 0 {
+		t.Error("ratio after reset must be 0")
+	}
+}
+
+func TestMoveTo(t *testing.T) {
+	tg := newTestTag(t)
+	tg.MoveTo(geom.Point{X: 2, Y: -1})
+	if tg.Position() != (geom.Point{X: 2, Y: -1}) {
+		t.Errorf("position %v", tg.Position())
+	}
+}
+
+func TestSpreadBitsRoundStructure(t *testing.T) {
+	code := pn.Code{ID: 0, One: []byte{1, 0}, Zero: []byte{0, 1}}
+	got := SpreadBits([]byte{1, 0, 1}, code)
+	want := []byte{1, 0, 0, 1, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chip %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package trace implements the paper's §VIII-C trace-driven emulation
+// methodology: "even in our emulation tests, we still utilize the real
+// trace data delivered by the real field deployment tests, and incorporate
+// the real imperfectness, e.g., the timing error, in our emulation tests."
+//
+// A Trace records, per collision round and per tag, the realized channel
+// coefficient and clock offset of a live run. Replaying a trace feeds those
+// exact imperfections back into the engine, so experiments become
+// deterministic and repeatable across receiver variants — decode the same
+// collisions with a different detector, threshold or code family and
+// compare like with like. Traces serialize to line-delimited JSON.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors returned by the trace reader/player.
+var (
+	ErrExhausted = errors.New("trace: no more rounds recorded")
+	ErrTagCount  = errors.New("trace: recorded tag count does not match")
+)
+
+// TagSample is the realized channel and timing of one tag in one round.
+type TagSample struct {
+	// TagID is the tag's code index.
+	TagID int `json:"tag"`
+	// GainRe and GainIm are the realized complex channel gain (link budget
+	// × fading × shadowing) applied to the tag's unit waveform.
+	GainRe float64 `json:"gain_re"`
+	GainIm float64 `json:"gain_im"`
+	// DelayChips is the tag's realized clock offset in chips relative to
+	// the nominal frame start — the "real timing error" the paper's
+	// emulation keeps.
+	DelayChips float64 `json:"delay_chips"`
+	// Impedance is the tag's impedance state during the round.
+	Impedance int `json:"z"`
+}
+
+// Round is one recorded collision.
+type Round struct {
+	// Seq numbers rounds from zero.
+	Seq int `json:"seq"`
+	// Tags holds one sample per transmitting tag.
+	Tags []TagSample `json:"tags"`
+}
+
+// Trace is an in-memory recording.
+type Trace struct {
+	// Meta describes the recording scenario (free-form, for humans).
+	Meta string `json:"meta,omitempty"`
+	// Rounds in capture order.
+	Rounds []Round `json:"-"`
+}
+
+// Recorder accumulates rounds during a live run.
+type Recorder struct {
+	trace Trace
+}
+
+// NewRecorder returns an empty recorder with the given metadata string.
+func NewRecorder(meta string) *Recorder {
+	return &Recorder{trace: Trace{Meta: meta}}
+}
+
+// Record appends one round.
+func (r *Recorder) Record(tags []TagSample) {
+	round := Round{Seq: len(r.trace.Rounds), Tags: append([]TagSample(nil), tags...)}
+	r.trace.Rounds = append(r.trace.Rounds, round)
+}
+
+// Trace returns the recording so far (shared slices; callers must not
+// mutate).
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// Len reports the number of recorded rounds.
+func (r *Recorder) Len() int { return len(r.trace.Rounds) }
+
+// header is the first JSON line of a serialized trace.
+type header struct {
+	Format string `json:"format"`
+	Meta   string `json:"meta,omitempty"`
+	Rounds int    `json:"rounds"`
+}
+
+const formatID = "cbma-trace/1"
+
+// Write serializes the trace as line-delimited JSON: one header line, then
+// one line per round.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Format: formatID, Meta: t.Meta, Rounds: len(t.Rounds)}); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i := range t.Rounds {
+		if err := enc.Encode(&t.Rounds[i]); err != nil {
+			return fmt.Errorf("trace: writing round %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if h.Format != formatID {
+		return nil, fmt.Errorf("trace: unsupported format %q", h.Format)
+	}
+	t := &Trace{Meta: h.Meta}
+	for i := 0; i < h.Rounds; i++ {
+		var round Round
+		if err := dec.Decode(&round); err != nil {
+			return nil, fmt.Errorf("trace: reading round %d: %w", i, err)
+		}
+		t.Rounds = append(t.Rounds, round)
+	}
+	return t, nil
+}
+
+// Player replays a trace round by round.
+type Player struct {
+	trace *Trace
+	next  int
+}
+
+// NewPlayer wraps a trace for replay.
+func NewPlayer(t *Trace) *Player { return &Player{trace: t} }
+
+// Remaining reports how many rounds are left.
+func (p *Player) Remaining() int { return len(p.trace.Rounds) - p.next }
+
+// Next returns the next recorded round. It returns ErrExhausted past the
+// end.
+func (p *Player) Next() (Round, error) {
+	if p.next >= len(p.trace.Rounds) {
+		return Round{}, ErrExhausted
+	}
+	r := p.trace.Rounds[p.next]
+	p.next++
+	return r, nil
+}
+
+// Rewind restarts replay from the first round.
+func (p *Player) Rewind() { p.next = 0 }
+
+// Sample returns the sample for tagID within a round, if present.
+func (r Round) Sample(tagID int) (TagSample, bool) {
+	for _, s := range r.Tags {
+		if s.TagID == tagID {
+			return s, true
+		}
+	}
+	return TagSample{}, false
+}

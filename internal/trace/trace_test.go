@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	rec := NewRecorder("unit test")
+	rec.Record([]TagSample{
+		{TagID: 0, GainRe: 1e-5, GainIm: -2e-5, DelayChips: 0.1, Impedance: 4},
+		{TagID: 1, GainRe: 3e-5, GainIm: 0, DelayChips: -0.05, Impedance: 2},
+	})
+	rec.Record([]TagSample{
+		{TagID: 0, GainRe: 9e-6, GainIm: 1e-6, DelayChips: 0, Impedance: 4},
+	})
+	return rec.Trace()
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	rec := NewRecorder("m")
+	if rec.Len() != 0 {
+		t.Fatal("fresh recorder must be empty")
+	}
+	rec.Record([]TagSample{{TagID: 3}})
+	rec.Record(nil)
+	if rec.Len() != 2 {
+		t.Fatalf("len %d", rec.Len())
+	}
+	tr := rec.Trace()
+	if tr.Rounds[0].Seq != 0 || tr.Rounds[1].Seq != 1 {
+		t.Errorf("sequence numbers wrong: %+v", tr.Rounds)
+	}
+	if tr.Meta != "m" {
+		t.Errorf("meta %q", tr.Meta)
+	}
+}
+
+func TestRecordCopiesInput(t *testing.T) {
+	rec := NewRecorder("")
+	in := []TagSample{{TagID: 7}}
+	rec.Record(in)
+	in[0].TagID = 99
+	if rec.Trace().Rounds[0].Tags[0].TagID != 7 {
+		t.Error("Record must copy its input")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta != tr.Meta {
+		t.Errorf("meta %q", back.Meta)
+	}
+	if !reflect.DeepEqual(back.Rounds, tr.Rounds) {
+		t.Errorf("rounds differ:\n%+v\n%+v", back.Rounds, tr.Rounds)
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rec := NewRecorder("prop")
+		rounds := rng.Intn(20)
+		for i := 0; i < rounds; i++ {
+			n := rng.Intn(5)
+			samples := make([]TagSample, n)
+			for j := range samples {
+				samples[j] = TagSample{
+					TagID:      j,
+					GainRe:     rng.NormFloat64(),
+					GainIm:     rng.NormFloat64(),
+					DelayChips: rng.NormFloat64(),
+					Impedance:  1 + rng.Intn(4),
+				}
+			}
+			rec.Record(samples)
+		}
+		var buf bytes.Buffer
+		if err := rec.Trace().Write(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(back.Rounds, rec.Trace().Rounds) ||
+			(len(back.Rounds) == 0 && rec.Len() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsBadFormat(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"format":"other/9","rounds":0}` + "\n")); err == nil {
+		t.Fatal("wrong format must fail")
+	}
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	// Header promising more rounds than present must fail.
+	if _, err := Read(strings.NewReader(`{"format":"cbma-trace/1","rounds":2}` + "\n" + `{"seq":0}` + "\n")); err == nil {
+		t.Fatal("truncated trace must fail")
+	}
+}
+
+func TestPlayerSequenceAndRewind(t *testing.T) {
+	p := NewPlayer(sampleTrace())
+	if p.Remaining() != 2 {
+		t.Fatalf("remaining %d", p.Remaining())
+	}
+	r0, err := p.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Seq != 0 || len(r0.Tags) != 2 {
+		t.Errorf("round 0: %+v", r0)
+	}
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Next(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("got %v, want ErrExhausted", err)
+	}
+	p.Rewind()
+	if p.Remaining() != 2 {
+		t.Error("rewind must restore all rounds")
+	}
+}
+
+func TestRoundSample(t *testing.T) {
+	tr := sampleTrace()
+	s, ok := tr.Rounds[0].Sample(1)
+	if !ok || s.Impedance != 2 {
+		t.Errorf("sample: %+v ok=%v", s, ok)
+	}
+	if _, ok := tr.Rounds[0].Sample(9); ok {
+		t.Error("absent tag must report !ok")
+	}
+}

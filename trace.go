@@ -1,0 +1,32 @@
+package cbma
+
+import (
+	"io"
+
+	"cbma/internal/trace"
+)
+
+// Trace-driven emulation (the paper's §VIII-C methodology): record the
+// realized channel gains and clock offsets of a run, then replay the exact
+// collisions into other receiver variants. See Engine.RecordTo and
+// Engine.ReplayFrom.
+type (
+	// Trace is a recorded sequence of collision rounds.
+	Trace = trace.Trace
+	// TraceRecorder accumulates rounds during a live run.
+	TraceRecorder = trace.Recorder
+	// TracePlayer replays a trace round by round.
+	TracePlayer = trace.Player
+	// TraceRound and TraceSample are the recorded per-round/per-tag data.
+	TraceRound  = trace.Round
+	TraceSample = trace.TagSample
+)
+
+// NewTraceRecorder returns an empty recorder with the given metadata.
+func NewTraceRecorder(meta string) *TraceRecorder { return trace.NewRecorder(meta) }
+
+// NewTracePlayer wraps a trace for replay.
+func NewTracePlayer(t *Trace) *TracePlayer { return trace.NewPlayer(t) }
+
+// ReadTrace parses a trace serialized by Trace.Write.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
