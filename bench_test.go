@@ -111,3 +111,33 @@ func BenchmarkEngineRound(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkEngineRounds reuses one engine across iterations, so it measures
+// the steady-state round cost — including the receiver's matched-filter
+// path and the engine's round-buffer reuse — without per-iteration setup.
+func benchmarkEngineRounds(b *testing.B, goldDegree uint, numTags int) {
+	scn := cbma.DefaultScenario()
+	scn.NumTags = numTags
+	scn.GoldDegree = goldDegree
+	scn.Packets = 1
+	engine, err := cbma.NewEngine(scn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRoundReceive31 is the paper's default 31-chip Gold
+// configuration; its alignment sweep stays on the bit-identical direct
+// correlation path.
+func BenchmarkEngineRoundReceive31(b *testing.B) { benchmarkEngineRounds(b, 5, 10) }
+
+// BenchmarkEngineRoundReceive127 uses 127-chip Gold codes, whose alignment
+// sweep runs through the receiver's frequency-domain filter bank.
+func BenchmarkEngineRoundReceive127(b *testing.B) { benchmarkEngineRounds(b, 7, 10) }

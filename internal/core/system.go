@@ -81,11 +81,12 @@ func New(cfg Config) (*System, error) {
 		rng:    rand.New(rand.NewSource(cfg.Scenario.Seed + 31337)),
 	}
 	if cfg.NodeSelection {
-		dep := cfg.Scenario.Deployment
-		if dep.Room.Width == 0 {
-			dep = geom.NewDeployment(0.5)
-		}
-		s.selector = mac.NewNodeSelector(cfg.NodeSelect, cfg.Scenario.Channel, dep, s.rng)
+		// The engine's validated scenario carries the defaulted deployment
+		// with caller-provided tag positions intact; re-deriving it from the
+		// raw config here used to replace a configured layout with the stock
+		// two-node geometry whenever the room was left zero.
+		dep := e.Scenario().Deployment
+		s.selector = mac.NewNodeSelector(cfg.NodeSelect, e.Scenario().Channel, dep, s.rng)
 		// Draw the idle-tag candidate pool once; §V-C replaces bad tags
 		// with idle tags already present in the environment.
 		for i := 0; i < cfg.CandidatePositions; i++ {

@@ -79,6 +79,32 @@ func TestRunWithSelectionMovesBadTags(t *testing.T) {
 	}
 }
 
+// TestNodeSelectionKeepsConfiguredPositions places tags explicitly with a
+// zero room and enables node selection: New used to rebuild the deployment
+// from scratch in that case, discarding the configured layout.
+func TestNodeSelectionKeepsConfiguredPositions(t *testing.T) {
+	positions := []geom.Point{{X: 1.1, Y: 0.4}, {X: 1.6, Y: -0.3}}
+	scn := testScenario()
+	scn.NumTags = len(positions)
+	scn.Deployment = geom.Deployment{Tags: positions} // room left zero
+	sys, err := New(Config{Scenario: scn, NodeSelection: true, CandidatePositions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := sys.Engine().Scenario().Deployment
+	if dep.Room.Width == 0 {
+		t.Error("room must be defaulted")
+	}
+	for i, p := range positions {
+		if dep.Tags[i] != p {
+			t.Errorf("tag %d moved to %+v during setup, want %+v", i, dep.Tags[i], p)
+		}
+		if got := sys.Engine().Tags()[i].Position(); got != p {
+			t.Errorf("tag %d object placed at %+v, want %+v", i, got, p)
+		}
+	}
+}
+
 func TestRunSelectionStopsWhenAllGood(t *testing.T) {
 	scn := testScenario() // easy 1 m line placement: everyone is good
 	sys, err := New(Config{Scenario: scn, NodeSelection: true})

@@ -93,6 +93,34 @@ func MagSquared(x []complex128) []float64 {
 	return out
 }
 
+// MagnitudeInto writes |x[i]| into dst, growing it as needed, and returns
+// the filled slice. Receivers reuse one buffer across calls through this.
+func MagnitudeInto(dst []float64, x []complex128) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	for i := range x {
+		// math.Hypot matches cmplx.Abs bit-for-bit, so a receiver switching
+		// from Magnitude to this in-place form sees identical envelopes.
+		dst[i] = math.Hypot(real(x[i]), imag(x[i]))
+	}
+	return dst
+}
+
+// MagSquaredInto is MagnitudeInto for instantaneous power |x[i]|².
+func MagSquaredInto(dst []float64, x []complex128) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	for i := range x {
+		re, im := real(x[i]), imag(x[i])
+		dst[i] = re*re + im*im
+	}
+	return dst
+}
+
 // DotConj returns the inner product Σ a[i]·conj(b[i]). It is the core
 // primitive of correlation-based detection.
 func DotConj(a, b []complex128) (complex128, error) {

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/bits"
-	"math/cmplx"
+	"sync"
 )
 
 // ErrNotPowerOfTwo is returned by FFT when the input length is not a power
@@ -24,6 +24,92 @@ func NextPowerOfTwo(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
+// fftPlan caches the bit-reversal shift and twiddle table for one transform
+// size. Plans are immutable after construction and shared process-wide, so
+// concurrent transforms of the same size are safe.
+type fftPlan struct {
+	n     int
+	shift uint
+	// w[k] = exp(-2πi·k/n) for k < n/2; stage `size` butterflies index it
+	// at stride n/size. The inverse transform conjugates on the fly.
+	w []complex128
+}
+
+// fftPlans maps transform size → *fftPlan.
+var fftPlans sync.Map
+
+func planFor(n int) *fftPlan {
+	if p, ok := fftPlans.Load(n); ok {
+		return p.(*fftPlan)
+	}
+	p := &fftPlan{n: n, shift: 64 - uint(bits.Len(uint(n-1)))}
+	p.w = make([]complex128, n/2)
+	for k := range p.w {
+		theta := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	actual, _ := fftPlans.LoadOrStore(n, p)
+	return actual.(*fftPlan)
+}
+
+// bitReverseInPlace permutes buf into bit-reversed order.
+func (p *fftPlan) bitReverseInPlace(buf []complex128) {
+	for i := range buf {
+		j := int(bits.Reverse64(uint64(i)) >> p.shift)
+		if j > i {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	}
+}
+
+// butterflies runs the radix-2 stages in place; buf must already be in
+// bit-reversed order.
+func (p *fftPlan) butterflies(buf []complex128, inverse bool) {
+	n := p.n
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			if inverse {
+				for k := 0; k < half; k++ {
+					w := p.w[k*stride]
+					w = complex(real(w), -imag(w))
+					a := buf[start+k]
+					b := buf[start+k+half] * w
+					buf[start+k] = a + b
+					buf[start+k+half] = a - b
+				}
+			} else {
+				for k := 0; k < half; k++ {
+					w := p.w[k*stride]
+					a := buf[start+k]
+					b := buf[start+k+half] * w
+					buf[start+k] = a + b
+					buf[start+k+half] = a - b
+				}
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+}
+
+// forwardInPlace / inverseInPlace transform buf (length p.n) in place. The
+// inverse includes the 1/N scaling.
+func (p *fftPlan) forwardInPlace(buf []complex128) {
+	p.bitReverseInPlace(buf)
+	p.butterflies(buf, false)
+}
+
+func (p *fftPlan) inverseInPlace(buf []complex128) {
+	p.bitReverseInPlace(buf)
+	p.butterflies(buf, true)
+}
+
 // FFT computes the in-order decimation-in-time radix-2 FFT of x. The input
 // length must be a power of two; the input is not modified.
 func FFT(x []complex128) ([]complex128, error) {
@@ -41,44 +127,18 @@ func fft(x []complex128, inverse bool) ([]complex128, error) {
 		return nil, ErrNotPowerOfTwo
 	}
 	out := make([]complex128, n)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	if n == 1 {
-		out[0] = x[0]
-		return out, nil
-	}
-	for i := 0; i < n; i++ {
-		out[bits.Reverse64(uint64(i))>>shift] = x[i]
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := 2 * math.Pi / float64(size) * sign
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := cmplx.Exp(complex(0, step*float64(k)))
-				a := out[start+k]
-				b := out[start+k+half] * w
-				out[start+k] = a + b
-				out[start+k+half] = a - b
-			}
-		}
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range out {
-			out[i] *= inv
-		}
-	}
+	copy(out, x)
+	p := planFor(n)
+	p.bitReverseInPlace(out)
+	p.butterflies(out, inverse)
 	return out, nil
 }
 
 // FFTCorrelate computes the same result as CrossCorrelate(x, t) using the
 // frequency domain, which is asymptotically faster for long templates. It
-// zero-pads both operands to a power of two ≥ len(x)+len(t)-1.
+// zero-pads both operands to a power of two ≥ len(x)+len(t)-1. See
+// CrossCorrelateFFT for the block-streaming (overlap-add) variant that
+// bounds the transform size for very long inputs.
 func FFTCorrelate(x, t []complex128) ([]complex128, error) {
 	n, m := len(x), len(t)
 	if m == 0 || m > n {
@@ -89,25 +149,18 @@ func FFTCorrelate(x, t []complex128) ([]complex128, error) {
 	copy(xp, x)
 	tp := make([]complex128, size)
 	copy(tp, t)
-	xf, err := FFT(xp)
-	if err != nil {
-		return nil, err
+	p := planFor(size)
+	p.forwardInPlace(xp)
+	p.forwardInPlace(tp)
+	for i := range xp {
+		tr, ti := real(tp[i]), -imag(tp[i])
+		xp[i] *= complex(tr, ti)
 	}
-	tf, err := FFT(tp)
-	if err != nil {
-		return nil, err
-	}
-	for i := range xf {
-		xf[i] *= cmplx.Conj(tf[i])
-	}
-	prod, err := IFFT(xf)
-	if err != nil {
-		return nil, err
-	}
+	p.inverseInPlace(xp)
 	// Correlation at lag k is the k-th element of the circular result;
 	// valid lags are 0 … n-m.
 	out := make([]complex128, n-m+1)
-	copy(out, prod[:n-m+1])
+	copy(out, xp[:n-m+1])
 	return out, nil
 }
 

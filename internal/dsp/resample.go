@@ -106,6 +106,24 @@ func FractionalDelay(x []complex128, d float64) []complex128 {
 	return out
 }
 
+// FractionalDelayInPlace applies a purely sub-sample delay (0 ≤ d < 1) to x
+// in place — the allocation-free form of FractionalDelay for callers that
+// have already split off the whole-sample part. The backward iteration
+// reads x[i] and x[i−1] before x[i] is overwritten, so no scratch is
+// needed, and the arithmetic matches FractionalDelay exactly.
+func FractionalDelayInPlace(x []complex128, d float64) {
+	if d <= 0 {
+		return
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		var a complex128
+		if i > 0 {
+			a = x[i-1]
+		}
+		x[i] = x[i]*complex(1-d, 0) + a*complex(d, 0)
+	}
+}
+
 // ShiftInt delays (d > 0) or advances (d < 0) x by an integer number of
 // samples, zero-filling the vacated positions. The output has the same
 // length as the input.

@@ -3,6 +3,8 @@ package rx
 import (
 	"math"
 	"math/cmplx"
+	"sync"
+	"sync/atomic"
 
 	"cbma/internal/dsp"
 )
@@ -23,6 +25,106 @@ func complexRealDot(x []complex128, t []float64) complex128 {
 		im += imag(x[i]) * v
 	}
 	return complex(re, im)
+}
+
+// sweep holds the precomputed per-code correlation rows of one detection
+// window, produced by the frequency-domain filter bank when the window is
+// large enough for the FFT to pay (see Receiver.buildSweep). rows are
+// read-only once built, so the worker pool shares them freely.
+type sweep struct {
+	lo, count int
+	// coh[id][k] is the coherent preamble correlation of code id at lag
+	// lo+k; env[id][k] the envelope correlation (filled for sparse codes
+	// only — dense codes never consult it).
+	coh [][]complex128
+	env [][]float64
+}
+
+// buildSweep evaluates the shared detection window around globalStart for
+// every code through the filter bank, or returns nil when the bank's cost
+// model keeps the direct per-lag loops (small windows — the default
+// configuration — stay bit-identical with the naive scan). The returned
+// sweep aliases receiver scratch: it is valid until the next buildSweep
+// call and must not outlive it.
+func (r *Receiver) buildSweep(env []float64, x []complex128, globalStart int) *sweep {
+	lo, hi, ok := r.searchWindow(globalStart, len(x))
+	if !ok {
+		return nil
+	}
+	count := hi - lo + 1
+	n := r.cfg.Codes.Size()
+	if !r.bank.ShouldUseFFT(count, n, true) {
+		return nil
+	}
+	r.cohRows = growComplexRows(r.cohRows, n, count)
+	if err := r.bank.CorrelateAll(x, lo, count, nil, r.cohRows); err != nil {
+		return nil
+	}
+	sw := &sweep{lo: lo, count: count, coh: r.cohRows}
+	if r.anySparse {
+		var sparseIDs []int
+		for id, sp := range r.sparse {
+			if sp {
+				sparseIDs = append(sparseIDs, id)
+			}
+		}
+		r.envRows = growFloatRows(r.envRows, n, count)
+		rows := make([][]float64, len(sparseIDs))
+		sw.env = make([][]float64, n)
+		for j, id := range sparseIDs {
+			rows[j] = r.envRows[id]
+			sw.env[id] = r.envRows[id]
+		}
+		if err := r.bank.CorrelateRealAll(env, lo, count, sparseIDs, rows); err != nil {
+			return nil
+		}
+	}
+	return sw
+}
+
+// searchWindow is the per-user timing window around the global alignment,
+// shared by every code (equal template lengths make lo/hi code-independent).
+func (r *Receiver) searchWindow(globalStart, n int) (lo, hi int, ok bool) {
+	tmplLen := len(r.preambleTmpl[0])
+	slack := r.cfg.SearchChips * r.cfg.SamplesPerChip
+	lo = globalStart - slack
+	if lo < 0 {
+		lo = 0
+	}
+	hi = globalStart + slack
+	if hi+tmplLen > n {
+		hi = n - tmplLen
+	}
+	if hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+func growFloatRows(rows [][]float64, n, count int) [][]float64 {
+	if len(rows) < n {
+		rows = append(rows, make([][]float64, n-len(rows))...)
+	}
+	for i := 0; i < n; i++ {
+		if cap(rows[i]) < count {
+			rows[i] = make([]float64, count)
+		}
+		rows[i] = rows[i][:count]
+	}
+	return rows
+}
+
+func growComplexRows(rows [][]complex128, n, count int) [][]complex128 {
+	if len(rows) < n {
+		rows = append(rows, make([][]complex128, n-len(rows))...)
+	}
+	for i := 0; i < n; i++ {
+		if cap(rows[i]) < count {
+			rows[i] = make([]complex128, count)
+		}
+		rows[i] = rows[i][:count]
+	}
+	return rows
 }
 
 // globalAlign estimates the fine frame start common to the colliding tags by
@@ -47,7 +149,12 @@ func complexRealDot(x []complex128, t []float64) complex128 {
 // subset.
 //
 // The search runs at half-chip stride and then refines to sample resolution
-// around the winner.
+// around the winner. When the window × code-count product is large enough,
+// the per-code correlations come from the frequency-domain filter bank —
+// one shared FFT of the envelope window against every code's precomputed
+// preamble spectrum — instead of per-lag dot products; the scan pattern is
+// unchanged, so the two paths agree to floating-point rounding and the
+// direct path stays bit-identical with the original receiver.
 //
 // The correlation score is weighted by a soft prior centered on the
 // refined energy-rise edge (refineEdge). The edge is the one *absolute*
@@ -84,11 +191,28 @@ func (r *Receiver) globalAlign(env []float64, power []float64, coarse int, noise
 		d := float64(lag-edge) / float64(4*r.cfg.SamplesPerChip)
 		return 1 / (1 + d*d)
 	}
+	count := hi - lo + 1
+	// corrAt(id, lag) is the envelope-preamble correlation; the fast path
+	// precomputes every (code, lag) cell through the bank's shared FFT.
+	corrAt := func(id, lag int) float64 {
+		c, err := dsp.DotReal(env[lag:lag+tmplLen], r.preambleTmpl[id])
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return c
+	}
+	if r.bank.ShouldUseFFT(count, len(r.preambleTmpl), false) {
+		r.alignRows = growFloatRows(r.alignRows, len(r.preambleTmpl), count)
+		if err := r.bank.CorrelateRealAll(env, lo, count, nil, r.alignRows); err == nil {
+			rows := r.alignRows
+			corrAt = func(id, lag int) float64 { return rows[id][lag-lo] }
+		}
+	}
 	score := func(lag int) float64 {
 		var sum float64
 		for id := range r.preambleTmpl {
-			c, err := dsp.DotReal(env[lag:lag+tmplLen], r.preambleTmpl[id])
-			if err != nil {
+			c := corrAt(id, lag)
+			if math.IsInf(c, -1) {
 				return 0
 			}
 			if c > 0 { // only positive polarity is a valid preamble
@@ -164,7 +288,10 @@ func (r *Receiver) refineEdge(power []float64, coarse int, noiseW float64) int {
 // detectUser implements §III-B user detection for one code: it slides the
 // code's preamble discriminant template over the complex baseband within
 // ±SearchChips chips of the global alignment and reports the best normalized
-// correlation magnitude.
+// correlation magnitude. When sw is non-nil the per-lag correlations come
+// from the precomputed frequency-domain sweep; the detection statistics at
+// the chosen lag are always recomputed with the direct dot product, so the
+// reported corr/phasor/CFAR values are path-independent.
 //
 // The per-user metric is coherent — |Σ x·tmpl| normalized by the window and
 // template energies — because the envelope correlation dilutes as 1/√N with
@@ -205,18 +332,10 @@ func (r *Receiver) refineEdge(power []float64, coarse int, noiseW float64) int {
 // bit decisions project onto. For a sparse code, the residual self-impostor
 // (an exactly inverted decode at ±1 chip) is detected and undone by
 // decodeUser's preamble-inversion repair.
-func (r *Receiver) detectUser(env []float64, x []complex128, id, globalStart int, noiseW float64) (detection, bool) {
+func (r *Receiver) detectUser(sw *sweep, env []float64, x []complex128, id, globalStart int, noiseW float64) (detection, bool) {
 	tmpl := r.preambleTmpl[id]
-	slack := r.cfg.SearchChips * r.cfg.SamplesPerChip
-	lo := globalStart - slack
-	if lo < 0 {
-		lo = 0
-	}
-	hi := globalStart + slack
-	if hi+len(tmpl) > len(x) {
-		hi = len(x) - len(tmpl)
-	}
-	if hi < lo {
+	lo, hi, ok := r.searchWindow(globalStart, len(x))
+	if !ok {
 		return detection{}, false
 	}
 	var tmplEnergy float64
@@ -227,7 +346,9 @@ func (r *Receiver) detectUser(env []float64, x []complex128, id, globalStart int
 		return detection{}, false
 	}
 	bestLag := -1
-	if r.sparse[id] {
+	if sw != nil {
+		bestLag = r.pickLagFromSweep(sw, id)
+	} else if r.sparse[id] {
 		bestEnv := 0.0
 		cohLag, cohBest := -1, -1.0
 		for lag := lo; lag <= hi; lag++ {
@@ -281,6 +402,164 @@ func (r *Receiver) detectUser(env []float64, x []complex128, id, globalStart int
 		best.phasor = dot / complex(abs, 0)
 	}
 	return best, true
+}
+
+// pickLagFromSweep reproduces detectUser's lag choice from precomputed
+// rows: maximum positive envelope correlation for sparse codes (falling
+// back to the coherent peak), maximum coherent magnitude for dense ones.
+func (r *Receiver) pickLagFromSweep(sw *sweep, id int) int {
+	coh := sw.coh[id]
+	bestLag := -1
+	if r.sparse[id] && sw.env != nil && sw.env[id] != nil {
+		bestEnv := 0.0
+		cohLag, cohBest := -1, -1.0
+		envRow := sw.env[id]
+		for k := 0; k < sw.count; k++ {
+			if e := envRow[k]; e > bestEnv {
+				bestLag, bestEnv = sw.lo+k, e
+			}
+			dot := coh[k]
+			if m := real(dot)*real(dot) + imag(dot)*imag(dot); m > cohBest {
+				cohLag, cohBest = sw.lo+k, m
+			}
+		}
+		if bestLag < 0 {
+			bestLag = cohLag
+		}
+		return bestLag
+	}
+	cohBest := -1.0
+	for k := 0; k < sw.count; k++ {
+		dot := coh[k]
+		if m := real(dot)*real(dot) + imag(dot)*imag(dot); m > cohBest {
+			bestLag, cohBest = sw.lo+k, m
+		}
+	}
+	return bestLag
+}
+
+// detectAndDecodeAll runs per-code detection and decoding over the buffer,
+// fanning the codes out across Config.Workers goroutines when configured.
+// The pool lives entirely within this call — workers only read the shared
+// buffer, sweep rows and templates, and write code-indexed slots — so
+// Receive stays sequential-safe for callers. Frames return in code order,
+// matching the serial path.
+func (r *Receiver) detectAndDecodeAll(env []float64, x []complex128, globalStart int, noiseW float64) []DecodedFrame {
+	n := r.cfg.Codes.Size()
+	sw := r.buildSweep(env, x, globalStart)
+	workers := r.workerCount(n)
+	if workers <= 1 {
+		var frames []DecodedFrame
+		for id := 0; id < n; id++ {
+			det, ok := r.detectUser(sw, env, x, id, globalStart, noiseW)
+			if !ok {
+				continue
+			}
+			f := r.decodeUser(x, id, det.lag, det.phasor)
+			f.Corr = det.corr
+			frames = append(frames, f)
+		}
+		return frames
+	}
+	type slot struct {
+		f  DecodedFrame
+		ok bool
+	}
+	slots := make([]slot, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				id := int(atomic.AddInt64(&next, 1))
+				if id >= n {
+					return
+				}
+				det, ok := r.detectUser(sw, env, x, id, globalStart, noiseW)
+				if !ok {
+					continue
+				}
+				f := r.decodeUser(x, id, det.lag, det.phasor)
+				f.Corr = det.corr
+				slots[id] = slot{f: f, ok: true}
+			}
+		}()
+	}
+	wg.Wait()
+	var frames []DecodedFrame
+	for id := 0; id < n; id++ {
+		if slots[id].ok {
+			frames = append(frames, slots[id].f)
+		}
+	}
+	return frames
+}
+
+// detectBest scans the given codes and returns the one with the strongest
+// detection — the SIC ordering primitive — fanning out across the worker
+// pool when configured. Ties break toward the lowest code ID in both paths.
+func (r *Receiver) detectBest(ids []int, env []float64, x []complex128, globalStart int, noiseW float64) (int, detection, bool) {
+	sw := r.buildSweep(env, x, globalStart)
+	workers := r.workerCount(len(ids))
+	if workers <= 1 {
+		bestID := -1
+		var bestDet detection
+		for _, id := range ids {
+			det, ok := r.detectUser(sw, env, x, id, globalStart, noiseW)
+			if !ok {
+				continue
+			}
+			if bestID < 0 || det.corr > bestDet.corr {
+				bestID, bestDet = id, det
+			}
+		}
+		return bestID, bestDet, bestID >= 0
+	}
+	type slot struct {
+		det detection
+		ok  bool
+	}
+	slots := make([]slot, len(ids))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(atomic.AddInt64(&next, 1))
+				if j >= len(ids) {
+					return
+				}
+				det, ok := r.detectUser(sw, env, x, ids[j], globalStart, noiseW)
+				slots[j] = slot{det: det, ok: ok}
+			}
+		}()
+	}
+	wg.Wait()
+	bestID := -1
+	var bestDet detection
+	for j, id := range ids {
+		if !slots[j].ok {
+			continue
+		}
+		if bestID < 0 || slots[j].det.corr > bestDet.corr {
+			bestID, bestDet = id, slots[j].det
+		}
+	}
+	return bestID, bestDet, bestID >= 0
+}
+
+// workerCount bounds the per-call worker pool by the configured fan-out and
+// the number of codes to scan.
+func (r *Receiver) workerCount(n int) int {
+	w := r.cfg.Workers
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // energyOf returns Σ|x[i]|².

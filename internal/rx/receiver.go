@@ -72,6 +72,12 @@ type Config struct {
 	// preamble phase estimate goes stale within a fraction of a frame at
 	// tens of ppm. Off by default to match the paper's receiver.
 	PhaseTracking bool
+	// Workers opts into fanning the per-code detection/decode sweep out
+	// across this many goroutines within each Receive call. 0 or 1 keeps
+	// the single-goroutine path. The pool never outlives the call, so a
+	// Receiver stays safe for sequential reuse either way; results are
+	// returned in code order and are identical to the serial path.
+	Workers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -102,6 +108,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CFARThreshold == 0 {
 		c.CFARThreshold = 16
 	}
+	if c.Workers < 0 {
+		return c, errors.New("rx: workers must be >= 0")
+	}
 	if _, err := c.Frame.Preamble(); err != nil {
 		return c, err
 	}
@@ -120,6 +129,23 @@ type Receiver struct {
 	preambleTmpl [][]float64
 	bitTmpl      [][]float64
 	sparse       []bool
+	anySparse    bool
+	// bank holds the preamble templates with their frequency-domain images
+	// precomputed, for the matched-filter fast path taken by globalAlign
+	// and the detection sweep when the window is large enough (see
+	// dsp.FilterBank.ShouldUseFFT).
+	bank *dsp.FilterBank
+	// Per-call scratch, reused across Receive calls (the reason a Receiver
+	// is not safe for concurrent use): instantaneous power and envelope of
+	// the buffer, per-code correlation rows for the alignment and
+	// detection sweeps, and the SIC residual buffers.
+	power     []float64
+	env       []float64
+	alignRows [][]float64
+	envRows   [][]float64
+	cohRows   [][]complex128
+	sicWork   []complex128
+	sicEnv    []float64
 }
 
 // New builds a receiver and precomputes the per-code correlation templates.
@@ -152,6 +178,17 @@ func New(cfg Config) (*Receiver, error) {
 		}
 		r.preambleTmpl = append(r.preambleTmpl, tmpl)
 	}
+	for _, sp := range r.sparse {
+		if sp {
+			r.anySparse = true
+			break
+		}
+	}
+	bank, err := dsp.NewFilterBank(r.preambleTmpl)
+	if err != nil {
+		return nil, fmt.Errorf("rx: %w", err)
+	}
+	r.bank = bank
 	return r, nil
 }
 
@@ -229,7 +266,8 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	if len(samples) == 0 {
 		return res, dsp.ErrEmptyInput
 	}
-	power := dsp.MagSquared(samples)
+	r.power = dsp.MagSquaredInto(r.power, samples)
+	power := r.power
 	start, found := EnergyDetect(power, r.cfg.SyncWindow, r.cfg.SyncThresholdDB, r.shortWindow())
 	if !found {
 		return res, nil
@@ -238,7 +276,8 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	res.CoarseStart = start
 	res.NoiseW = r.noiseEstimate(power, start)
 
-	env := dsp.Magnitude(samples)
+	r.env = dsp.MagnitudeInto(r.env, samples)
+	env := r.env
 	globalStart, ok := r.globalAlign(env, power, start, res.NoiseW, nominalStart)
 	if !ok {
 		return res, nil
@@ -247,18 +286,11 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	if r.cfg.SIC {
 		r.receiveSIC(samples, &res, env, globalStart)
 	} else {
-		for id := range r.cfg.Codes.Codes {
-			det, ok := r.detectUser(env, samples, id, globalStart, res.NoiseW)
-			if !ok {
-				continue
-			}
-			f := r.decodeUser(samples, id, det.lag, det.phasor)
-			f.Corr = det.corr
-			res.Frames = append(res.Frames, f)
-		}
+		res.Frames = r.detectAndDecodeAll(env, samples, globalStart, res.NoiseW)
 	}
 	for i := range res.Frames {
-		res.Frames[i].SNRdB = r.estimateSNR(power, res.Frames[i].Lag, res.NoiseW)
+		f := &res.Frames[i]
+		f.SNRdB = r.estimateSNR(power, f.Lag, r.frameExtentSamples(len(f.Payload)), res.NoiseW)
 	}
 	return res, nil
 }
@@ -289,13 +321,20 @@ func (r *Receiver) noiseEstimate(power []float64, start int) float64 {
 }
 
 // estimateSNR reports the ratio of frame-region power above noise to noise.
-func (r *Receiver) estimateSNR(power []float64, lag int, noiseW float64) float64 {
-	end := len(power)
+// The integration window is bounded to the frame's own extent
+// (frameSamples) instead of running to the end of the buffer: capture
+// buffers carry a deliberate post-frame noise tail, and folding the tail
+// into the average biased the estimate low by the tail-to-frame duty ratio.
+func (r *Receiver) estimateSNR(power []float64, lag, frameSamples int, noiseW float64) float64 {
 	if lag < 0 {
 		lag = 0
 	}
-	if lag >= end {
+	if lag >= len(power) || frameSamples <= 0 {
 		return 0
+	}
+	end := lag + frameSamples
+	if end > len(power) {
+		end = len(power)
 	}
 	var acc float64
 	for _, p := range power[lag:end] {
@@ -303,6 +342,19 @@ func (r *Receiver) estimateSNR(power []float64, lag int, noiseW float64) float64
 	}
 	total := acc / float64(end-lag)
 	return dsp.SNRdB(total, noiseW)
+}
+
+// frameExtentSamples is the on-air extent, in samples, of a frame carrying
+// payloadBytes of payload — the integration window estimateSNR uses. A
+// failed decode reports no payload, so its estimate integrates the
+// header+CRC extent only; that region is still frame-dominated, which is
+// what matters for an unbiased ratio.
+func (r *Receiver) frameExtentSamples(payloadBytes int) int {
+	bits, err := r.cfg.Frame.BitLength(payloadBytes)
+	if err != nil {
+		return 0
+	}
+	return bits * r.cfg.Codes.ChipLength() * r.cfg.SamplesPerChip
 }
 
 // upsampleFloats repeats each value factor times.

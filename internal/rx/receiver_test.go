@@ -23,7 +23,7 @@ const (
 // buildScenario synthesizes a received buffer containing one frame per
 // payload entry, each from a distinct tag, with the given per-tag amplitude
 // gains and sample offsets, over a noise floor.
-func buildScenario(t *testing.T, set *pn.Set, payloads [][]byte, gains []complex128, offsets []int, leadSamples, tailSamples int) []complex128 {
+func buildScenario(t testing.TB, set *pn.Set, payloads [][]byte, gains []complex128, offsets []int, leadSamples, tailSamples int) []complex128 {
 	t.Helper()
 	rng := rand.New(rand.NewSource(77))
 	var maxEnd int

@@ -33,33 +33,36 @@ var ErrGhost = errors.New("rx: duplicate-payload correlation ghost suppressed")
 // addresses; the detector ablation bench quantifies the difference.
 func (r *Receiver) receiveSIC(samples []complex128, res *Result, env []float64, globalStart int) {
 	noiseW := res.NoiseW
-	work := make([]complex128, len(samples))
+	if cap(r.sicWork) < len(samples) {
+		r.sicWork = make([]complex128, len(samples))
+	}
+	work := r.sicWork[:len(samples)]
 	copy(work, samples)
-	envWork := make([]float64, len(env))
+	if cap(r.sicEnv) < len(env) {
+		r.sicEnv = make([]float64, len(env))
+	}
+	envWork := r.sicEnv[:len(env)]
 	copy(envWork, env)
 
 	var accepted []sicUser
 
-	remaining := make(map[int]bool, r.cfg.Codes.Size())
+	// remaining holds the not-yet-decoded code IDs in ascending order, so
+	// detection ties break deterministically toward the lowest ID.
+	remaining := make([]int, 0, r.cfg.Codes.Size())
 	for id := range r.cfg.Codes.Codes {
-		remaining[id] = true
+		remaining = append(remaining, id)
 	}
 	for len(remaining) > 0 {
-		bestID := -1
-		var bestDet detection
-		for id := range remaining {
-			det, ok := r.detectUser(envWork, work, id, globalStart, noiseW)
-			if !ok {
-				continue
-			}
-			if bestID < 0 || det.corr > bestDet.corr {
-				bestID, bestDet = id, det
-			}
-		}
-		if bestID < 0 {
+		bestID, bestDet, found := r.detectBest(remaining, envWork, work, globalStart, noiseW)
+		if !found {
 			break
 		}
-		delete(remaining, bestID)
+		for j, id := range remaining {
+			if id == bestID {
+				remaining = append(remaining[:j], remaining[j+1:]...)
+				break
+			}
+		}
 		f := r.decodeUser(work, bestID, bestDet.lag, bestDet.phasor)
 		f.Corr = bestDet.corr
 		res.Frames = append(res.Frames, f)

@@ -35,6 +35,53 @@ type Engine struct {
 	// emulation (see RecordTo / ReplayFrom).
 	recorder *trace.Recorder
 	player   *trace.Player
+	// round holds the per-round buffers reused across rounds. runRound is
+	// the simulator's hot loop and the mixing buffer alone is tens of
+	// thousands of samples; reusing it (and the per-slot waveform buffers)
+	// removes the dominant per-round allocations.
+	round roundBuffers
+}
+
+// roundBuffers is runRound's reusable scratch: one payload and waveform
+// buffer per active-tag slot, the placement bookkeeping slices, and the
+// mixing buffer the waveforms accumulate into.
+type roundBuffers struct {
+	payloads [][]byte
+	waves    [][]complex128
+	offsets  []int
+	delays   []float64
+	mix      []complex128
+}
+
+// grow sizes the per-slot scratch for n active tags, retaining previously
+// allocated storage.
+func (rb *roundBuffers) grow(n int) {
+	if cap(rb.payloads) < n {
+		payloads := make([][]byte, n)
+		copy(payloads, rb.payloads)
+		rb.payloads = payloads
+		waves := make([][]complex128, n)
+		copy(waves, rb.waves)
+		rb.waves = waves
+		rb.offsets = make([]int, n)
+		rb.delays = make([]float64, n)
+	}
+	rb.payloads = rb.payloads[:n]
+	rb.waves = rb.waves[:n]
+	rb.offsets = rb.offsets[:n]
+	rb.delays = rb.delays[:n]
+}
+
+// mixFor returns a zeroed mixing buffer of length n, reusing capacity.
+func (rb *roundBuffers) mixFor(n int) []complex128 {
+	if cap(rb.mix) < n {
+		rb.mix = make([]complex128, n)
+	}
+	rb.mix = rb.mix[:n]
+	for i := range rb.mix {
+		rb.mix[i] = 0
+	}
+	return rb.mix
 }
 
 // NewEngine validates the scenario and builds the tag population and
@@ -136,6 +183,12 @@ func (e *Engine) ReplayFrom(p *trace.Player) { e.player = p }
 // Receiver exposes the receiver, mainly for tests.
 func (e *Engine) Receiver() *rx.Receiver { return e.recv }
 
+// Scenario returns the engine's scenario after validation and defaulting —
+// the authoritative geometry and configuration the rounds actually run
+// with. Callers needing the deployment (e.g. node selection) should read it
+// from here rather than re-defaulting the original input.
+func (e *Engine) Scenario() Scenario { return e.scn }
+
 // roundResult captures one collision round.
 type roundResult struct {
 	sent         int // frames transmitted (== active tags)
@@ -161,10 +214,11 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 	spc := e.scn.SamplesPerChip()
 	chipsPerFrame := 0
 
-	payloads := make([][]byte, len(active))
-	waves := make([][]complex128, len(active))
-	offsets := make([]int, len(active))
-	delays := make([]float64, len(active))
+	e.round.grow(len(active))
+	payloads := e.round.payloads
+	waves := e.round.waves
+	offsets := e.round.offsets
+	delays := e.round.delays
 	minDelay := math.Inf(1)
 	for i, tg := range active {
 		// Per-tag clock offset: fixed extra delay (Fig. 11) plus uniform
@@ -202,10 +256,13 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 	}
 	maxEnd := 0
 	for i, tg := range active {
-		p := make([]byte, e.scn.PayloadBytes)
+		if cap(payloads[i]) < e.scn.PayloadBytes {
+			payloads[i] = make([]byte, e.scn.PayloadBytes)
+		}
+		p := payloads[i][:e.scn.PayloadBytes]
 		e.rng.Read(p)
 		payloads[i] = p
-		w, err := tg.Waveform(p)
+		w, err := tg.WaveformInto(waves[i], p)
 		if err != nil {
 			return res, err
 		}
@@ -217,7 +274,7 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 		d := delays[i] - minDelay
 		off := int(d)
 		if frac := d - float64(off); frac > 1e-9 {
-			w = dsp.FractionalDelay(w, frac)
+			dsp.FractionalDelayInPlace(w, frac)
 		}
 		waves[i] = w
 		offsets[i] = off
@@ -229,7 +286,7 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 		}
 	}
 	tail := 2 * e.set.ChipLength() * spc
-	buf := make([]complex128, maxEnd+tail)
+	buf := e.round.mixFor(maxEnd + tail)
 
 	// Optional intermittent (OFDM) excitation gate, shared by all tags:
 	// they all reflect the same exciter.

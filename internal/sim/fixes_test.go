@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"cbma/internal/geom"
+)
+
+// TestRunParallelShortCircuits poisons every invocation and requires the
+// dispatcher to stop handing out indices once the first error lands:
+// in-flight work drains, but nowhere near the full index range may run.
+func TestRunParallelShortCircuits(t *testing.T) {
+	const n = 10000
+	sentinel := errors.New("poison")
+	var ran int64
+	err := RunParallel(n, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the poisoned error", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= n/2 {
+		t.Fatalf("dispatch continued after the error: %d of %d indices ran", got, n)
+	}
+}
+
+// TestScenarioKeepsConfiguredTagPositions places tags explicitly while
+// leaving the room zero (the "default room, my layout" configuration) and
+// requires validation to default only the missing geometry instead of
+// replacing the whole deployment.
+func TestScenarioKeepsConfiguredTagPositions(t *testing.T) {
+	positions := []geom.Point{{X: 1.25, Y: 0.75}, {X: 1.5, Y: -0.5}, {X: 2.0, Y: 0.25}}
+	scn := DefaultScenario()
+	scn.NumTags = len(positions)
+	scn.Deployment = geom.Deployment{Tags: positions} // room and ES/RX left zero
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Scenario().Deployment
+	if got.Room.Width == 0 {
+		t.Error("room must still be defaulted")
+	}
+	if len(got.Tags) != len(positions) {
+		t.Fatalf("tag count changed: %d, want %d", len(got.Tags), len(positions))
+	}
+	for i, p := range positions {
+		if got.Tags[i] != p {
+			t.Errorf("tag %d moved to %+v, want %+v", i, got.Tags[i], p)
+		}
+		if e.Tags()[i].Position() != p {
+			t.Errorf("tag %d object placed at %+v, want %+v", i, e.Tags()[i].Position(), p)
+		}
+	}
+}
+
+// TestScenarioDefaultsWholeDeploymentWhenEmpty pins the pre-existing
+// behaviour for a fully zero deployment: default room, default ES/RX, line
+// placement for the tags.
+func TestScenarioDefaultsWholeDeploymentWhenEmpty(t *testing.T) {
+	scn := DefaultScenario()
+	scn.Deployment = geom.Deployment{}
+	e, err := NewEngine(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := e.Scenario().Deployment
+	def := geom.NewDeployment(0.5)
+	if dep.Room != def.Room {
+		t.Errorf("room = %+v, want default %+v", dep.Room, def.Room)
+	}
+	if len(dep.Tags) != scn.NumTags {
+		t.Errorf("line placement produced %d tags, want %d", len(dep.Tags), scn.NumTags)
+	}
+}

@@ -6,11 +6,14 @@ import (
 )
 
 // RunParallel executes fn(0) … fn(n−1) across up to GOMAXPROCS worker
-// goroutines and returns the first error encountered (all scheduled work
-// still completes — engines are cheap to finish and results land in
-// caller-owned, index-disjoint slots). Each invocation must be independent:
-// engines, tags and RNGs are single-goroutine objects, so every fn(i) must
-// build its own.
+// goroutines and returns the first error encountered. Dispatch stops as
+// soon as any invocation fails: indices not yet handed to a worker are
+// never run, while invocations already in flight drain to completion
+// (engines are cheap to finish and results land in caller-owned,
+// index-disjoint slots). Callers therefore must not assume fn ran for
+// every index when an error is returned. Each invocation must be
+// independent: engines, tags and RNGs are single-goroutine objects, so
+// every fn(i) must build its own.
 func RunParallel(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -30,6 +33,8 @@ func RunParallel(n int, fn func(i int) error) error {
 		firstErr error
 	)
 	next := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -41,12 +46,18 @@ func RunParallel(n int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					stopOnce.Do(func() { close(stop) })
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-stop:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -204,7 +204,16 @@ func (s *Scenario) validate() error {
 		s.Channel = channel.DefaultParams()
 	}
 	if s.Deployment.Room.Width == 0 {
-		s.Deployment = geom.NewDeployment(0.5)
+		// Default only the missing geometry. Replacing the whole Deployment
+		// here used to discard caller-provided tag positions (and ES/RX
+		// placements) whenever the room was left zero — the common way to
+		// say "default room, my layout".
+		def := geom.NewDeployment(0.5)
+		s.Deployment.Room = def.Room
+		if s.Deployment.ES == (geom.Point{}) && s.Deployment.RX == (geom.Point{}) {
+			s.Deployment.ES = def.ES
+			s.Deployment.RX = def.RX
+		}
 	}
 	if len(s.Deployment.Tags) == 0 {
 		// Canonical micro-benchmark geometry (§VII-B "impact of distance"):

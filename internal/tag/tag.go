@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"cbma/internal/dsp"
 	"cbma/internal/frame"
 	"cbma/internal/geom"
 	"cbma/internal/pn"
@@ -129,21 +128,31 @@ func (t *Tag) EncodeFrame(payload []byte) ([]byte, error) {
 // reflected first harmonic appears as this envelope (see squarewave.go for
 // the harmonic analysis justifying the approximation).
 func (t *Tag) Waveform(payload []byte) ([]complex128, error) {
+	return t.WaveformInto(nil, payload)
+}
+
+// WaveformInto is Waveform writing into dst (grown as needed) so the
+// simulation loop can reuse one sample buffer per tag slot across rounds;
+// it returns the filled slice.
+func (t *Tag) WaveformInto(dst []complex128, payload []byte) ([]complex128, error) {
 	chips, err := t.EncodeFrame(payload)
 	if err != nil {
 		return nil, err
 	}
-	up, err := dsp.UpsampleHoldBits(chips, t.cfg.SamplesPerChip)
-	if err != nil {
-		return nil, err
+	spc := t.cfg.SamplesPerChip
+	n := len(chips) * spc
+	if cap(dst) < n {
+		dst = make([]complex128, n)
 	}
-	out := make([]complex128, len(up))
-	for i, b := range up {
-		if b == 1 {
-			out[i] = 1
+	dst = dst[:n]
+	for i, c := range chips {
+		v := complex(float64(c), 0)
+		base := i * spc
+		for k := 0; k < spc; k++ {
+			dst[base+k] = v
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // FrameChips returns the number of chips in a frame carrying p payload
