@@ -19,6 +19,26 @@ const (
 	CondOFDM      = sim.CondOFDM
 )
 
+// CampaignOpts configures RunCampaign.
+type CampaignOpts = sim.CampaignOpts
+
+// RunCampaign runs one engine per scenario, parallelizing across points
+// and — when the worker budget exceeds the point count — across each
+// point's steady-state rounds. Results are indexed like points and are
+// independent of the budget (see Scenario.Workers for the per-engine
+// reproducibility contract).
+func RunCampaign(points []Scenario, opts CampaignOpts) ([]Metrics, error) {
+	return sim.RunCampaign(points, opts)
+}
+
+// DeriveSeed deterministically derives a child scenario seed from a base
+// seed and a sequence of labels (experiment identifier, point index, …).
+// Distinct label sequences give independent seeds, which is what per-point
+// seeds in a sweep need — additive seed arithmetic collides.
+func DeriveSeed(seed int64, labels ...uint64) int64 {
+	return sim.DeriveSeed(seed, labels...)
+}
+
 // SweepDistance reproduces Fig. 8(a): FER versus tag-to-RX distance.
 func SweepDistance(base Scenario, distances []float64, tagCounts []int) ([]Series, error) {
 	return sim.SweepDistance(base, distances, tagCounts)

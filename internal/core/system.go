@@ -19,6 +19,14 @@ import (
 // ErrBadConfig reports invalid system configuration.
 var ErrBadConfig = errors.New("core: invalid configuration")
 
+// Labels for sim.DeriveSeed: the deployment study's placement stream and
+// per-group scenario seeds. Kept clear of internal/sim's sweep labels
+// (1–11) and internal/paperbench's (300s).
+const (
+	seedDeploymentPlacement uint64 = 201
+	seedDeploymentGroup     uint64 = 202
+)
+
 // Config describes a CBMA deployment run.
 type Config struct {
 	// Scenario is the radio/deployment/workload description. Its
@@ -186,7 +194,7 @@ func DeploymentStudy(base sim.Scenario, groups int) (none, pc, pcns []float64, e
 	if groups <= 0 {
 		return nil, nil, nil, fmt.Errorf("%w: groups must be positive", ErrBadConfig)
 	}
-	rng := rand.New(rand.NewSource(base.Seed + 555))
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(base.Seed, seedDeploymentPlacement)))
 	minSep := geom.Wavelength(2e9) / 2
 	// Deterministic placement draws up front, then independent groups run
 	// in parallel (see sim.RunParallel).
@@ -199,7 +207,7 @@ func DeploymentStudy(base sim.Scenario, groups int) (none, pc, pcns []float64, e
 		if err := scn.Deployment.PlaceTagsRandom(rng, scn.NumTags, minSep); err != nil {
 			return nil, nil, nil, err
 		}
-		scn.Seed = base.Seed + int64(g)*1009
+		scn.Seed = sim.DeriveSeed(base.Seed, seedDeploymentGroup, uint64(g))
 		scn.RandomInitialImpedance = true
 		scns[g] = scn
 	}

@@ -42,6 +42,11 @@ func Quick() Options {
 	return Options{Seed: 1, Packets: 30, Groups: 4, Trials: 60, PayloadBytes: 8}
 }
 
+// seedAblationSelect labels this package's per-group seed derivation in
+// sim.DeriveSeed's label space. Kept clear of internal/sim's sweep labels
+// (1–11) and internal/core's deployment labels (200s).
+const seedAblationSelect uint64 = 301
+
 // base builds the canonical scenario for an option set.
 func (o Options) base() sim.Scenario {
 	scn := sim.DefaultScenario()
@@ -102,15 +107,11 @@ func Table1(w io.Writer, o Options) error {
 	scn := o.base()
 	scn.NumTags = 10
 	scn.Family = pn.Family2NC
-	e, err := sim.NewEngine(scn)
+	ms, err := sim.RunCampaign([]sim.Scenario{scn}, sim.CampaignOpts{What: "table1"})
 	if err != nil {
 		return err
 	}
-	m, err := e.Run()
-	if err != nil {
-		return err
-	}
-	rows := append(baseline.Table1(), baseline.CBMARow(m.RawAggregateBps, 10, 5))
+	rows := append(baseline.Table1(), baseline.CBMARow(ms[0].RawAggregateBps, 10, 5))
 	fmt.Fprintf(w, "%-22s %12s %8s %10s\n", "technology", "data rate", "tags", "range(m)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-22s %12s %8d %10.4g\n",
@@ -273,38 +274,31 @@ func Headline(w io.Writer, o Options) error {
 	if err != nil {
 		return err
 	}
-	e, err := sim.NewEngine(scn)
+	ms, err := sim.RunCampaign([]sim.Scenario{scn}, sim.CampaignOpts{What: "headline"})
 	if err != nil {
 		return err
 	}
-	m, err := e.Run()
-	if err != nil {
-		return err
-	}
-	_, err = io.WriteString(w, report.Headline(cb.GoodputBps, td.GoodputBps, m.RawAggregateBps, 10))
+	_, err = io.WriteString(w, report.Headline(cb.GoodputBps, td.GoodputBps, ms[0].RawAggregateBps, 10))
 	return err
 }
 
 // AblationDetector compares the paper's plain correlation receiver against
 // the SIC-enhanced receiver at five concurrent tags (DESIGN.md ablation 1).
+// Both arms share the seed, so they decode the same collisions.
 func AblationDetector(w io.Writer, o Options) error {
-	for _, sic := range []bool{false, true} {
+	points := make([]sim.Scenario, 2)
+	for v, sic := range []bool{false, true} {
 		scn := o.base()
 		scn.NumTags = 5
 		scn.SIC = sic
-		e, err := sim.NewEngine(scn)
-		if err != nil {
-			return err
-		}
-		m, err := e.Run()
-		if err != nil {
-			return err
-		}
-		name := "plain correlation"
-		if sic {
-			name = "with SIC"
-		}
-		fmt.Fprintf(w, "%-20s FER %.4f  false frames %d\n", name, m.FER, m.FalseFrames)
+		points[v] = scn
+	}
+	ms, err := sim.RunCampaign(points, sim.CampaignOpts{What: "detector ablation"})
+	if err != nil {
+		return err
+	}
+	for v, name := range []string{"plain correlation", "with SIC"} {
+		fmt.Fprintf(w, "%-20s FER %.4f  false frames %d\n", name, ms[v].FER, ms[v].FalseFrames)
 	}
 	return nil
 }
@@ -337,24 +331,31 @@ func scnWithStates(o Options, states int) sim.Scenario {
 }
 
 // AblationCodes adds the synchronous-CDMA upper bound (Walsh) to the
-// Fig. 9(b) comparison (ablation 4).
+// Fig. 9(b) comparison (ablation 4). The whole tags × family grid runs as
+// one campaign; every cell keeps the base seed so families are paired.
 func AblationCodes(w io.Writer, o Options) error {
-	fmt.Fprintf(w, "%6s %10s %10s %10s\n", "tags", "walsh", "gold", "2nc")
-	for _, n := range []int{2, 3, 4, 5} {
-		fmt.Fprintf(w, "%6d", n)
-		for _, fam := range []int{3 /*walsh*/, 1 /*gold*/, 2 /*2nc*/} {
+	tagCounts := []int{2, 3, 4, 5}
+	fams := []int{3 /*walsh*/, 1 /*gold*/, 2 /*2nc*/}
+	var points []sim.Scenario
+	for _, n := range tagCounts {
+		for _, fam := range fams {
 			scn := o.base()
 			scn.NumTags = n
 			scn.Family = famFromInt(fam)
-			e, err := sim.NewEngine(scn)
-			if err != nil {
-				return err
-			}
-			m, err := e.Run()
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, " %10.4f", m.FER)
+			points = append(points, scn)
+		}
+	}
+	ms, err := sim.RunCampaign(points, sim.CampaignOpts{What: "code ablation"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%6s %10s %10s %10s\n", "tags", "walsh", "gold", "2nc")
+	k := 0
+	for _, n := range tagCounts {
+		fmt.Fprintf(w, "%6d", n)
+		for range fams {
+			fmt.Fprintf(w, " %10.4f", ms[k].FER)
+			k++
 		}
 		fmt.Fprintln(w)
 	}
@@ -365,25 +366,24 @@ func AblationCodes(w io.Writer, o Options) error {
 // decision-directed phase tracking on and off — the oscillator-tolerance
 // question the paper's §VIII discussion raises and defers.
 func ExtCFO(w io.Writer, o Options) error {
-	fmt.Fprintf(w, "%10s %14s %14s\n", "CFO (ppm)", "plain FER", "tracking FER")
-	for _, ppm := range []float64{0, 0.05, 0.1, 0.2, 0.5, 1.0} {
-		var fers [2]float64
-		for v, tracking := range []bool{false, true} {
+	ppms := []float64{0, 0.05, 0.1, 0.2, 0.5, 1.0}
+	var points []sim.Scenario
+	for _, ppm := range ppms {
+		for _, tracking := range []bool{false, true} {
 			scn := o.base()
 			scn.NumTags = 2
 			scn.CFOppm = ppm
 			scn.PhaseTracking = tracking
-			e, err := sim.NewEngine(scn)
-			if err != nil {
-				return err
-			}
-			m, err := e.Run()
-			if err != nil {
-				return err
-			}
-			fers[v] = m.FER
+			points = append(points, scn)
 		}
-		fmt.Fprintf(w, "%10.2f %14.4f %14.4f\n", ppm, fers[0], fers[1])
+	}
+	ms, err := sim.RunCampaign(points, sim.CampaignOpts{What: "cfo extension"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %14s %14s\n", "CFO (ppm)", "plain FER", "tracking FER")
+	for i, ppm := range ppms {
+		fmt.Fprintf(w, "%10.2f %14.4f %14.4f\n", ppm, ms[2*i].FER, ms[2*i+1].FER)
 	}
 	return nil
 }
@@ -392,23 +392,24 @@ func ExtCFO(w io.Writer, o Options) error {
 // still converges — the control loop's robustness to an unreliable
 // feedback channel.
 func ExtAckLoss(w io.Writer, o Options) error {
-	fmt.Fprintf(w, "%10s %12s %12s %14s\n", "ACK loss", "FER", "PC rounds", "converged")
-	for _, loss := range []float64{0, 0.25, 0.5, 0.9} {
+	losses := []float64{0, 0.25, 0.5, 0.9}
+	points := make([]sim.Scenario, len(losses))
+	for i, loss := range losses {
 		scn := o.base()
 		scn.NumTags = 3
 		scn.PowerControl = true
 		scn.RandomInitialImpedance = true
 		scn.AckLossProb = loss
-		e, err := sim.NewEngine(scn)
-		if err != nil {
-			return err
-		}
-		m, err := e.Run()
-		if err != nil {
-			return err
-		}
+		points[i] = scn
+	}
+	ms, err := sim.RunCampaign(points, sim.CampaignOpts{What: "ack loss extension"})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %12s %12s %14s\n", "ACK loss", "FER", "PC rounds", "converged")
+	for i, loss := range losses {
 		fmt.Fprintf(w, "%10.2f %12.4f %12d %14v\n",
-			loss, m.FER, m.PowerControlRounds, m.PowerControlConverged)
+			loss, ms[i].FER, ms[i].PowerControlRounds, ms[i].PowerControlConverged)
 	}
 	return nil
 }
@@ -425,7 +426,7 @@ func AblationSelect(w io.Writer, o Options) error {
 		groups := o.Groups/2 + 1
 		for g := 0; g < groups; g++ {
 			scn := base
-			scn.Seed = o.Seed + int64(g)*271
+			scn.Seed = sim.DeriveSeed(o.Seed, seedAblationSelect, uint64(g))
 			sys, err := core.New(core.Config{
 				Scenario:      scn,
 				NodeSelection: true,

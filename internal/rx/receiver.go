@@ -195,6 +195,30 @@ func New(cfg Config) (*Receiver, error) {
 // Config returns the receiver's effective (defaulted) configuration.
 func (r *Receiver) Config() Config { return r.cfg }
 
+// Clone returns a receiver that shares r's immutable template tables but
+// owns its own per-call scratch and filter bank, so the clone and r (and
+// further clones) may run Receive concurrently on different goroutines.
+// The templates are read-only after construction; the FilterBank caches
+// frequency-domain images internally, so each clone needs its own bank over
+// the shared template storage.
+func (r *Receiver) Clone() *Receiver {
+	c := &Receiver{
+		cfg:          r.cfg,
+		preambleTmpl: r.preambleTmpl,
+		bitTmpl:      r.bitTmpl,
+		sparse:       r.sparse,
+		anySparse:    r.anySparse,
+	}
+	// NewFilterBank only validates the templates, which already passed
+	// validation when r was built.
+	bank, err := dsp.NewFilterBank(r.preambleTmpl)
+	if err != nil {
+		panic(fmt.Sprintf("rx: cloning filter bank: %v", err))
+	}
+	c.bank = bank
+	return c
+}
+
 // DecodedFrame is the per-user outcome of one receive pass.
 type DecodedFrame struct {
 	// TagID is the code index of the detected user.

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// CampaignOpts configures RunCampaign.
+type CampaignOpts struct {
+	// Workers is the total goroutine budget, shared between concurrently
+	// executing points and each engine's steady-state round workers. Zero
+	// selects GOMAXPROCS.
+	Workers int
+	// What labels campaign errors with the harness's purpose (e.g.
+	// "distance sweep").
+	What string
+}
+
+// RunCampaign builds one engine per scenario and runs them all, returning
+// the metrics indexed like points. It is the single execution entry behind
+// runScenario, the sweep harnesses and the paperbench per-point loops: the
+// worker budget is split so points run concurrently first, and — when the
+// budget exceeds the point count — the surplus parallelizes each point's
+// steady-state rounds (Scenario.Workers). A point with Workers already set
+// keeps its own value. Results are independent of the budget: each point's
+// metrics depend only on its scenario (see DeriveSeed for per-point seeds),
+// and rounds are bit-reproducible for any worker count.
+func RunCampaign(points []Scenario, opts CampaignOpts) ([]Metrics, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	what := opts.What
+	if what == "" {
+		what = "campaign"
+	}
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	pointWorkers := budget
+	if pointWorkers > len(points) {
+		pointWorkers = len(points)
+	}
+	perEngine := budget / pointWorkers
+	if perEngine < 1 {
+		perEngine = 1
+	}
+	out := make([]Metrics, len(points))
+	err := runParallel(pointWorkers, len(points), func(i int) error {
+		scn := points[i]
+		if scn.Workers == 0 {
+			scn.Workers = perEngine
+		}
+		e, err := NewEngine(scn)
+		if err != nil {
+			return fmt.Errorf("sim: %s: point %d: %w", what, i, err)
+		}
+		m, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("sim: %s: point %d: %w", what, i, err)
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,14 +1,11 @@
 package sim
 
 import (
-	"bytes"
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
+	"sync/atomic"
 
-	"cbma/internal/dsp"
-
-	"cbma/internal/channel"
 	"cbma/internal/geom"
 	"cbma/internal/mac"
 	"cbma/internal/pn"
@@ -17,11 +14,14 @@ import (
 	"cbma/internal/trace"
 )
 
-// Engine runs collision rounds for one scenario. Construct with NewEngine;
-// an Engine is single-goroutine (the rng and tag state are unsynchronized).
+// Engine runs collision rounds for one scenario. Construct with NewEngine.
+// An Engine's exported methods are single-goroutine; Scenario.Workers
+// controls the internal parallelism of the steady-state rounds (see
+// DESIGN.md, "Execution model"). Every random draw comes from the named
+// per-round streams of rngstream.go, so the metrics of a run depend only on
+// (Scenario.Seed, run sequence), never on the worker count.
 type Engine struct {
 	scn  Scenario
-	rng  *rand.Rand
 	set  *pn.Set
 	tags []*tag.Tag
 	recv *rx.Receiver
@@ -29,59 +29,21 @@ type Engine struct {
 	// leadSamples is the noise-only region before the nominal frame start.
 	leadSamples int
 	// staticFading caches per-tag channel coefficients when the scenario
-	// freezes the channel (Scenario.StaticChannel).
+	// freezes the channel (Scenario.StaticChannel). Drawn once at
+	// construction (phaseSetup) so steady-state rounds stay read-only.
 	staticFading []complex128
 	// recorder and player implement the paper's §VIII-C trace-driven
 	// emulation (see RecordTo / ReplayFrom).
 	recorder *trace.Recorder
 	player   *trace.Player
-	// round holds the per-round buffers reused across rounds. runRound is
-	// the simulator's hot loop and the mixing buffer alone is tens of
-	// thousands of samples; reusing it (and the per-slot waveform buffers)
-	// removes the dominant per-round allocations.
+	// round is the serial path's scratch; parallel workers own clones.
 	round roundBuffers
-}
-
-// roundBuffers is runRound's reusable scratch: one payload and waveform
-// buffer per active-tag slot, the placement bookkeeping slices, and the
-// mixing buffer the waveforms accumulate into.
-type roundBuffers struct {
-	payloads [][]byte
-	waves    [][]complex128
-	offsets  []int
-	delays   []float64
-	mix      []complex128
-}
-
-// grow sizes the per-slot scratch for n active tags, retaining previously
-// allocated storage.
-func (rb *roundBuffers) grow(n int) {
-	if cap(rb.payloads) < n {
-		payloads := make([][]byte, n)
-		copy(payloads, rb.payloads)
-		rb.payloads = payloads
-		waves := make([][]complex128, n)
-		copy(waves, rb.waves)
-		rb.waves = waves
-		rb.offsets = make([]int, n)
-		rb.delays = make([]float64, n)
-	}
-	rb.payloads = rb.payloads[:n]
-	rb.waves = rb.waves[:n]
-	rb.offsets = rb.offsets[:n]
-	rb.delays = rb.delays[:n]
-}
-
-// mixFor returns a zeroed mixing buffer of length n, reusing capacity.
-func (rb *roundBuffers) mixFor(n int) []complex128 {
-	if cap(rb.mix) < n {
-		rb.mix = make([]complex128, n)
-	}
-	rb.mix = rb.mix[:n]
-	for i := range rb.mix {
-		rb.mix[i] = 0
-	}
-	return rb.mix
+	// runSeq distinguishes repeated Run/RunSchedule calls on one engine in
+	// the stream derivation, so every placement of a deployment study sees
+	// fresh randomness; adhocRound is the monotonic index of the serially
+	// executed (phaseAdhoc) rounds.
+	runSeq     uint64
+	adhocRound uint64
 }
 
 // NewEngine validates the scenario and builds the tag population and
@@ -97,7 +59,6 @@ func NewEngine(scn Scenario) (*Engine, error) {
 	spc := scn.SamplesPerChip()
 	e := &Engine{
 		scn: scn,
-		rng: rand.New(rand.NewSource(scn.Seed)),
 		set: set,
 	}
 	var bank tag.Bank
@@ -138,16 +99,26 @@ func NewEngine(scn Scenario) (*Engine, error) {
 			return nil, err
 		}
 	}
+	// Construction-time draws come from the phaseSetup stream node.
+	setup := newRoundStreams(scn.Seed, 0, phaseSetup, 0)
 	if scn.RandomInitialImpedance {
 		states := tag.NumImpedanceStates
 		if scn.ImpedanceStates > 0 {
 			states = scn.ImpedanceStates
 		}
+		rng := setup.rng(StreamSetup)
 		for _, tg := range e.tags {
-			state := tag.ImpedanceState(1 + e.rng.Intn(states))
+			state := tag.ImpedanceState(1 + rng.Intn(states))
 			if err := tg.SetImpedance(state); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if scn.StaticChannel {
+		rng := setup.rng(StreamFading)
+		e.staticFading = make([]complex128, len(e.tags))
+		for j := range e.staticFading {
+			e.staticFading[j] = scn.Channel.DrawFading(rng)
 		}
 	}
 	// Noise lead: several bit durations so the energy detector has a
@@ -165,7 +136,9 @@ func (e *Engine) Tags() []*tag.Tag { return e.tags }
 
 // RecordTo captures every subsequent round's realized channel gains and
 // clock offsets into rec — the paper's §VIII-C "real trace data … real
-// imperfectness" emulation input. Pass nil to stop recording.
+// imperfectness" emulation input. Pass nil to stop recording. Recording
+// works under parallel execution too: rounds commit in round order, so the
+// trace's Seq numbering matches the serial run's.
 func (e *Engine) RecordTo(rec *trace.Recorder) { e.recorder = rec }
 
 // ReplayFrom replays recorded rounds instead of drawing fresh channel and
@@ -177,7 +150,8 @@ func (e *Engine) RecordTo(rec *trace.Recorder) { e.recorder = rec }
 //
 // Replay is physical-layer replay: recorded gains already embed the
 // impedance states in force during capture, so power-control adjustments
-// have no effect while replaying.
+// have no effect while replaying. A player forces serial execution
+// regardless of Scenario.Workers — the trace is an ordered stream.
 func (e *Engine) ReplayFrom(p *trace.Player) { e.player = p }
 
 // Receiver exposes the receiver, mainly for tests.
@@ -189,228 +163,19 @@ func (e *Engine) Receiver() *rx.Receiver { return e.recv }
 // from here rather than re-defaulting the original input.
 func (e *Engine) Scenario() Scenario { return e.scn }
 
-// roundResult captures one collision round.
-type roundResult struct {
-	sent         int // frames transmitted (== active tags)
-	delivered    int // frames decoded with correct payload and CRC
-	falsePos     int // decoded-OK frames whose payload did not match
-	samples      int // buffer length, for airtime accounting
-	frames       []rx.DecodedFrame
-	globalStart  int
-	detected     bool
-	coarse       int
-	sentIDs      []int
-	deliveredIDs []int
-	detectedIDs  []int
-}
-
-// runRound simulates one collision: every tag transmits one frame
-// simultaneously; the receiver decodes; tags hear ACKs.
+// runRound simulates one collision round on the serial (phaseAdhoc) path:
+// every listed tag transmits one frame simultaneously; the receiver
+// decodes; tags hear ACKs. The Algorithm 1 exploration batches,
+// RunSchedule entries and the user-detection trials run through here — each
+// consumes the next adhoc round's stream node.
 func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
-	var res roundResult
-	if len(active) == 0 {
-		return res, ErrBadTagCount
-	}
-	spc := e.scn.SamplesPerChip()
-	chipsPerFrame := 0
-
-	e.round.grow(len(active))
-	payloads := e.round.payloads
-	waves := e.round.waves
-	offsets := e.round.offsets
-	delays := e.round.delays
-	minDelay := math.Inf(1)
-	for i, tg := range active {
-		// Per-tag clock offset: fixed extra delay (Fig. 11) plus uniform
-		// jitter, in (fractional) samples.
-		delayChips := e.scn.JitterChips * (e.rng.Float64() - 0.5)
-		if tg.ID() < len(e.scn.ExtraDelayChips) {
-			delayChips += e.scn.ExtraDelayChips[tg.ID()]
-		}
-		delays[i] = delayChips * float64(spc)
-		if delays[i] < minDelay {
-			minDelay = delays[i]
-		}
-	}
-	// Trace replay substitutes the recorded delays before waveform
-	// placement and the recorded gains afterwards.
-	var replayRound trace.Round
-	if e.player != nil {
-		var err error
-		replayRound, err = e.player.Next()
-		if err != nil {
-			return res, fmt.Errorf("sim: replaying round: %w", err)
-		}
-		minDelay = math.Inf(1)
-		for i, tg := range active {
-			s, ok := replayRound.Sample(tg.ID())
-			if !ok {
-				return res, fmt.Errorf("sim: %w: tag %d absent in round %d",
-					trace.ErrTagCount, tg.ID(), replayRound.Seq)
-			}
-			delays[i] = s.DelayChips * float64(spc)
-			if delays[i] < minDelay {
-				minDelay = delays[i]
-			}
-		}
-	}
-	maxEnd := 0
-	for i, tg := range active {
-		if cap(payloads[i]) < e.scn.PayloadBytes {
-			payloads[i] = make([]byte, e.scn.PayloadBytes)
-		}
-		p := payloads[i][:e.scn.PayloadBytes]
-		e.rng.Read(p)
-		payloads[i] = p
-		w, err := tg.WaveformInto(waves[i], p)
-		if err != nil {
-			return res, err
-		}
-		// Re-reference delays to the earliest tag so none is clamped, then
-		// split into an integer placement offset and a fractional-sample
-		// delay. The fractional part is what starves the decoder at low
-		// oversampling (Fig. 9(a)): at one sample per chip a 0.2-chip skew
-		// cannot be re-aligned.
-		d := delays[i] - minDelay
-		off := int(d)
-		if frac := d - float64(off); frac > 1e-9 {
-			dsp.FractionalDelayInPlace(w, frac)
-		}
-		waves[i] = w
-		offsets[i] = off
-		if end := e.leadSamples + off + len(w); end > maxEnd {
-			maxEnd = end
-		}
-		if c := len(w) / spc; c > chipsPerFrame {
-			chipsPerFrame = c
-		}
-	}
-	tail := 2 * e.set.ChipLength() * spc
-	buf := e.round.mixFor(maxEnd + tail)
-
-	// Optional intermittent (OFDM) excitation gate, shared by all tags:
-	// they all reflect the same exciter.
-	var gate []float64
-	if e.scn.OFDMExcitation {
-		gate = channel.ExcitationGate(e.rng, len(buf), e.scn.SampleRateHz, 2e-3, 1e-3)
-	}
-
-	var recorded []trace.TagSample
-	for i, tg := range active {
-		dg, err := tg.DeltaGamma()
-		if err != nil {
-			return res, err
-		}
-		var link channel.Link
-		if e.player != nil {
-			s, _ := replayRound.Sample(tg.ID())
-			link = channel.Link{Gain: complex(s.GainRe, s.GainIm)}
-		} else if e.scn.StaticChannel {
-			if e.staticFading == nil {
-				e.staticFading = make([]complex128, len(e.tags))
-				for j := range e.staticFading {
-					e.staticFading[j] = e.scn.Channel.DrawFading(e.rng)
-				}
-			}
-			link = e.scn.Channel.LinkWithFading(
-				e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg,
-				e.staticFading[tg.ID()])
-		} else {
-			link = e.scn.Channel.DrawLink(e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg, e.rng)
-		}
-		if e.scn.CFOppm != 0 {
-			// Per-frame CFO draw: a uniform offset of ±CFOppm of the
-			// carrier, as a per-sample baseband phase ramp.
-			dfHz := e.scn.Channel.CarrierHz * e.scn.CFOppm / 1e6 * (2*e.rng.Float64() - 1)
-			step := 2 * math.Pi * dfHz / e.scn.SampleRateHz
-			rot := complex(math.Cos(step), math.Sin(step))
-			phasor := complex(1, 0)
-			w := waves[i]
-			for k := range w {
-				w[k] *= phasor
-				phasor *= rot
-			}
-		}
-		if e.recorder != nil {
-			recorded = append(recorded, trace.TagSample{
-				TagID:      tg.ID(),
-				GainRe:     real(link.Gain),
-				GainIm:     imag(link.Gain),
-				DelayChips: delays[i] / float64(spc),
-				Impedance:  int(tg.Impedance()),
-			})
-		}
-		base := e.leadSamples + offsets[i]
-		for k, v := range waves[i] {
-			s := v * link.Gain
-			if gate != nil {
-				s *= complex(gate[base+k], 0)
-			}
-			buf[base+k] += s
-		}
-		tg.NoteFrameSent()
-		res.sentIDs = append(res.sentIDs, tg.ID())
-	}
-
-	if e.scn.Multipath != nil {
-		buf = e.scn.Multipath.Apply(e.rng, buf, e.scn.SampleRateHz)
-	}
-	for _, intf := range e.scn.Interferers {
-		intf.Apply(e.rng, buf, e.scn.SampleRateHz)
-	}
-	channel.AWGN(e.rng, buf, e.scn.Channel.NoiseFloorW())
-	if e.recorder != nil {
-		e.recorder.Record(recorded)
-	}
-
-	// The engine is also the reader: it triggered the tags, so it knows
-	// the nominal reply start (rx.ReceiveAt's timing reference).
-	out, err := e.recv.ReceiveAt(buf, e.leadSamples)
+	rs := newRoundStreams(e.scn.Seed, e.runSeq, phaseAdhoc, e.adhocRound)
+	e.adhocRound++
+	res, err := e.executeRound(active, rs, &e.round, e.recv)
 	if err != nil {
 		return res, err
 	}
-	res.sent = len(active)
-	res.samples = len(buf)
-	res.frames = out.Frames
-	for _, f := range out.Frames {
-		for _, tg := range active {
-			if tg.ID() == f.TagID {
-				res.detectedIDs = append(res.detectedIDs, f.TagID)
-				break
-			}
-		}
-	}
-	res.globalStart = out.GlobalStart
-	res.detected = out.FrameDetected
-	res.coarse = out.CoarseStart
-	for _, f := range out.Frames {
-		if !f.OK {
-			continue
-		}
-		idx := -1
-		for i, tg := range active {
-			if tg.ID() == f.TagID {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			res.falsePos++
-			continue
-		}
-		if bytes.Equal(f.Payload, payloads[idx]) {
-			res.delivered++
-			res.deliveredIDs = append(res.deliveredIDs, active[idx].ID())
-			// The ACK downlink may itself be lossy (Scenario.AckLossProb);
-			// receiver-side delivery metrics are unaffected, only the
-			// tag's feedback loop is starved.
-			if e.scn.AckLossProb <= 0 || e.rng.Float64() >= e.scn.AckLossProb {
-				active[idx].NoteAck()
-			}
-		} else {
-			res.falsePos++
-		}
-	}
+	e.commitRound(active, res)
 	return res, nil
 }
 
@@ -420,8 +185,12 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 // 3×N-round budget — after which the best configuration seen is restored
 // (the hardware analogue: the controller stops cycling once the FER target
 // is met, so the system sits in the best state it found). The returned
-// metrics then cover Packets steady-state collision rounds.
+// metrics then cover Packets steady-state collision rounds, executed on
+// Scenario.Workers goroutines; the result is bit-identical for any worker
+// count.
 func (e *Engine) Run() (Metrics, error) {
+	seq := e.runSeq
+	e.runSeq++
 	if e.scn.PowerControl && e.scn.OraclePowerControl {
 		if _, err := mac.EqualizePower(e.scn.Channel, e.scn.Deployment, e.tags); err != nil {
 			return Metrics{}, err
@@ -439,24 +208,97 @@ func (e *Engine) Run() (Metrics, error) {
 		m.PowerControlRounds = rounds
 		m.PowerControlConverged = converged
 	}
-	for p := 0; p < e.scn.Packets; p++ {
-		r, err := e.runRound(e.tags)
-		if err != nil {
-			return m, err
-		}
-		m.FramesSent += r.sent
-		m.FramesDelivered += r.delivered
-		m.FalseFrames += r.falsePos
-		m.AirtimeSeconds += float64(r.samples) / e.scn.SampleRateHz
-		accumulatePerTag(&m, r)
+	if err := e.runSteadyState(&m, seq); err != nil {
+		return m, err
 	}
 	m.finalize(e.scn)
 	return m, nil
 }
 
+// workerCount resolves the steady-state worker count: Scenario.Workers,
+// forced to 1 while a trace player is attached (replay is ordered).
+func (e *Engine) workerCount() int {
+	if e.player != nil {
+		return 1
+	}
+	if e.scn.Workers > 1 {
+		return e.scn.Workers
+	}
+	return 1
+}
+
+// runSteadyState executes the Packets steady-state collision rounds and
+// merges them into m. Steady-state rounds have no feedback dependency on
+// each other — the impedance configuration is frozen, tag ACK counters only
+// feed Algorithm 1 which has already finished — and each round's randomness
+// is a pure function of its index, so rounds may execute on workers in any
+// order. Both paths commit and merge strictly in round order, which is what
+// makes W=1 and W=N bit-identical.
+func (e *Engine) runSteadyState(m *Metrics, seq uint64) error {
+	packets := e.scn.Packets
+	workers := e.workerCount()
+	if workers > packets {
+		workers = packets
+	}
+	if workers <= 1 {
+		for p := 0; p < packets; p++ {
+			rs := newRoundStreams(e.scn.Seed, seq, phaseSteady, uint64(p))
+			res, err := e.executeRound(e.tags, rs, &e.round, e.recv)
+			if err != nil {
+				return err
+			}
+			e.commitRound(e.tags, res)
+			m.Merge(res.metrics(len(e.tags)))
+		}
+		return nil
+	}
+	return e.runSteadyParallel(m, seq, packets, workers)
+}
+
+// runSteadyParallel fans the steady-state rounds out to workers goroutines,
+// each owning a cloned receiver and private scratch. Rounds are claimed off
+// an atomic counter, executed out of order, then committed and merged in
+// round order by the coordinator. Errors do not short-circuit — a failing
+// round is a configuration bug, not a steady-state event — so every round's
+// slot is filled and the first error by round index is the one reported,
+// same as the serial loop.
+func (e *Engine) runSteadyParallel(m *Metrics, seq uint64, packets, workers int) error {
+	results := make([]roundResult, packets)
+	errs := make([]error, packets)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recv := e.recv.Clone()
+			var rb roundBuffers
+			for {
+				p := int(next.Add(1))
+				if p >= packets {
+					return
+				}
+				rs := newRoundStreams(e.scn.Seed, seq, phaseSteady, uint64(p))
+				results[p], errs[p] = e.executeRound(e.tags, rs, &rb, recv)
+			}
+		}()
+	}
+	wg.Wait()
+	for p := 0; p < packets; p++ {
+		if errs[p] != nil {
+			return errs[p]
+		}
+		e.commitRound(e.tags, results[p])
+		m.Merge(results[p].metrics(len(e.tags)))
+	}
+	return nil
+}
+
 // explorePowerControl drives Algorithm 1 to convergence or budget
 // exhaustion, then restores the impedance configuration with the lowest
-// observed batch FER.
+// observed batch FER. The loop is inherently serial: each batch's outcome
+// feeds the next impedance adjustment.
 func (e *Engine) explorePowerControl() (rounds int, converged bool, err error) {
 	snapshot := func() []tag.ImpedanceState {
 		out := make([]tag.ImpedanceState, len(e.tags))
@@ -502,6 +344,10 @@ func (e *Engine) explorePowerControl() (rounds int, converged bool, err error) {
 
 // RunWithPositions re-homes the tag population to the given positions and
 // runs — the macro deployment experiments sweep many random placements.
+// Tag ACK windows and the Algorithm 1 controller are both reset, so every
+// placement starts exploration with a full round budget; previously the
+// controller carried the spent budget (and adjustment history) of earlier
+// placements into later ones.
 func (e *Engine) RunWithPositions(positions []geom.Point) (Metrics, error) {
 	if len(positions) < len(e.tags) {
 		return Metrics{}, ErrNoPositions
@@ -510,13 +356,21 @@ func (e *Engine) RunWithPositions(positions []geom.Point) (Metrics, error) {
 		tg.MoveTo(positions[i])
 		tg.ResetAckWindow()
 	}
+	if e.scn.PowerControl && !e.scn.OraclePowerControl {
+		pc, err := mac.NewPowerController(mac.PowerControlConfig{}, e.scn.NumTags)
+		if err != nil {
+			return Metrics{}, err
+		}
+		e.pc = pc
+	}
 	return e.Run()
 }
 
 // RunSchedule runs one collision round per schedule entry, with only the
 // listed tag IDs transmitting in that round — the primitive beneath the
 // TDMA baseline (one ID per entry) and the user-detection experiment
-// (random subsets). Invalid IDs are rejected.
+// (random subsets). Invalid IDs are rejected. Entries run serially
+// (phaseAdhoc): the active set changes per round.
 func (e *Engine) RunSchedule(schedule [][]int) (Metrics, error) {
 	var m Metrics
 	m.NumTags = e.scn.NumTags
@@ -534,27 +388,8 @@ func (e *Engine) RunSchedule(schedule [][]int) (Metrics, error) {
 		if err != nil {
 			return m, err
 		}
-		m.FramesSent += r.sent
-		m.FramesDelivered += r.delivered
-		m.FalseFrames += r.falsePos
-		m.AirtimeSeconds += float64(r.samples) / e.scn.SampleRateHz
-		accumulatePerTag(&m, r)
+		m.Merge(r.metrics(len(e.tags)))
 	}
 	m.finalize(e.scn)
 	return m, nil
-}
-
-// accumulatePerTag folds one round's per-tag counters into the metrics.
-func accumulatePerTag(m *Metrics, r roundResult) {
-	m.FramesDetected += len(r.detectedIDs)
-	for _, id := range r.sentIDs {
-		if id >= 0 && id < len(m.PerTagSent) {
-			m.PerTagSent[id]++
-		}
-	}
-	for _, id := range r.deliveredIDs {
-		if id >= 0 && id < len(m.PerTagDelivered) {
-			m.PerTagDelivered[id]++
-		}
-	}
 }

@@ -29,87 +29,93 @@ type Series struct {
 	Points []Point
 }
 
-// runScenario builds an engine and runs it, wrapping errors with the sweep
-// context.
+// Sweep identity labels for DeriveSeed. Each harness derives its per-point
+// seeds as DeriveSeed(base.Seed, label, point coordinates…), which replaces
+// the additive base.Seed+i+n*1000 arithmetic: that collided across
+// (point, tag-count) pairs within a sweep and across different sweeps run
+// off the same base seed, silently correlating supposedly independent
+// measurements.
+const (
+	seedSweepDistance uint64 = iota + 1
+	seedSweepTxPower
+	seedSweepPreamble
+	seedSweepBitrate
+	seedSweepCodes
+	seedSweepPowerControl
+	seedSweepPowerControlPlacement
+	seedSweepAsync
+	seedWorkingConditions
+	seedPowerDiff
+	seedPowerDiffPlacement
+)
+
+// runScenario runs one scenario through the campaign entry, wrapping errors
+// with the sweep context.
 func runScenario(scn Scenario, what string) (Metrics, error) {
-	e, err := NewEngine(scn)
+	ms, err := RunCampaign([]Scenario{scn}, CampaignOpts{What: what})
 	if err != nil {
-		return Metrics{}, fmt.Errorf("sim: %s: %w", what, err)
+		return Metrics{}, err
 	}
-	m, err := e.Run()
+	return ms[0], nil
+}
+
+// sweepGrid runs the tagCounts × xs grid of a micro-benchmark sweep as one
+// campaign: every grid cell becomes a scenario up front (seeded from the
+// sweep label and cell coordinates), RunCampaign executes them across the
+// worker budget, and the results are folded back into one Series per tag
+// count.
+func sweepGrid(base Scenario, label uint64, what string, xs []float64, tagCounts []int, mod func(*Scenario, float64)) ([]Series, error) {
+	points := make([]Scenario, 0, len(tagCounts)*len(xs))
+	for _, n := range tagCounts {
+		for i, x := range xs {
+			scn := base
+			scn.NumTags = n
+			scn.Deployment.Tags = nil
+			scn.Seed = DeriveSeed(base.Seed, label, uint64(i), uint64(n))
+			mod(&scn, x)
+			points = append(points, scn)
+		}
+	}
+	ms, err := RunCampaign(points, CampaignOpts{What: what})
 	if err != nil {
-		return Metrics{}, fmt.Errorf("sim: %s: %w", what, err)
+		return nil, err
 	}
-	return m, nil
+	out := make([]Series, 0, len(tagCounts))
+	k := 0
+	for _, n := range tagCounts {
+		s := Series{Name: fmt.Sprintf("%d tags", n)}
+		for _, x := range xs {
+			s.Points = append(s.Points, Point{X: x, Metrics: ms[k]})
+			k++
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // SweepDistance reproduces Fig. 8(a): frame error rate versus tag-to-RX
 // distance (meters) for each tag count, ES-to-tag spacing fixed at 50 cm.
 func SweepDistance(base Scenario, distances []float64, tagCounts []int) ([]Series, error) {
-	var out []Series
-	for _, n := range tagCounts {
-		s := Series{Name: fmt.Sprintf("%d tags", n)}
-		for i, d := range distances {
-			scn := base
-			scn.NumTags = n
-			scn.TagLineDistance = d
-			scn.Deployment.Tags = nil
-			scn.Seed = base.Seed + int64(i) + int64(n)*1000
-			m, err := runScenario(scn, fmt.Sprintf("distance %.2f m", d))
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: d, Metrics: m})
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return sweepGrid(base, seedSweepDistance, "distance sweep", distances, tagCounts,
+		func(s *Scenario, d float64) { s.TagLineDistance = d })
 }
 
 // SweepTxPower reproduces Fig. 8(b): frame error rate versus excitation
 // transmit power (dBm) for each tag count.
 func SweepTxPower(base Scenario, powersDBm []float64, tagCounts []int) ([]Series, error) {
-	var out []Series
-	for _, n := range tagCounts {
-		s := Series{Name: fmt.Sprintf("%d tags", n)}
-		for i, p := range powersDBm {
-			scn := base
-			scn.NumTags = n
-			scn.Deployment.Tags = nil
-			scn.Channel.TxPowerDBm = p
-			scn.Seed = base.Seed + int64(i) + int64(n)*1000
-			m, err := runScenario(scn, fmt.Sprintf("tx power %.0f dBm", p))
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: p, Metrics: m})
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return sweepGrid(base, seedSweepTxPower, "tx power sweep", powersDBm, tagCounts,
+		func(s *Scenario, p float64) { s.Channel.TxPowerDBm = p })
 }
 
 // SweepPreamble reproduces Fig. 8(c): frame error rate versus preamble
 // length (bits) for each tag count.
 func SweepPreamble(base Scenario, preambleBits []int, tagCounts []int) ([]Series, error) {
-	var out []Series
-	for _, n := range tagCounts {
-		s := Series{Name: fmt.Sprintf("%d tags", n)}
-		for i, bits := range preambleBits {
-			scn := base
-			scn.NumTags = n
-			scn.Deployment.Tags = nil
-			scn.Frame = frame.Config{PreambleBits: bits}
-			scn.Seed = base.Seed + int64(i) + int64(n)*1000
-			m, err := runScenario(scn, fmt.Sprintf("preamble %d bits", bits))
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: float64(bits), Metrics: m})
-		}
-		out = append(out, s)
+	xs := make([]float64, len(preambleBits))
+	for i, b := range preambleBits {
+		xs[i] = float64(b)
 	}
-	return out, nil
+	return sweepGrid(base, seedSweepPreamble, "preamble sweep", xs, tagCounts,
+		func(s *Scenario, bits float64) { s.Frame = frame.Config{PreambleBits: int(bits)} })
 }
 
 // SweepBitrate reproduces Fig. 9(a): frame error rate versus the tag's
@@ -117,43 +123,38 @@ func SweepPreamble(base Scenario, preambleBits []int, tagCounts []int) ([]Series
 // fixed, so high rates starve the decoder of samples per chip — the paper's
 // "too few sampling points" regime.
 func SweepBitrate(base Scenario, ratesHz []float64, tagCounts []int) ([]Series, error) {
-	var out []Series
-	for _, n := range tagCounts {
-		s := Series{Name: fmt.Sprintf("%d tags", n)}
-		for i, r := range ratesHz {
-			scn := base
-			scn.NumTags = n
-			scn.Deployment.Tags = nil
-			scn.ChipRateHz = r
-			scn.Seed = base.Seed + int64(i) + int64(n)*1000
-			m, err := runScenario(scn, fmt.Sprintf("bitrate %.0f", r))
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: r, Metrics: m})
-		}
-		out = append(out, s)
-	}
-	return out, nil
+	return sweepGrid(base, seedSweepBitrate, "bitrate sweep", ratesHz, tagCounts,
+		func(s *Scenario, r float64) { s.ChipRateHz = r })
 }
 
 // SweepCodes reproduces Fig. 9(b): error rate versus concurrent tag count
-// for Gold versus 2NC codes.
+// for Gold versus 2NC codes. Both families run each point with the same
+// derived seed — the comparison is paired, so the curves differ only in the
+// code family.
 func SweepCodes(base Scenario, tagCounts []int) ([]Series, error) {
-	var out []Series
-	for _, fam := range []pn.Family{pn.Family2NC, pn.FamilyGold} {
-		s := Series{Name: fam.String()}
+	families := []pn.Family{pn.Family2NC, pn.FamilyGold}
+	points := make([]Scenario, 0, len(families)*len(tagCounts))
+	for _, fam := range families {
 		for i, n := range tagCounts {
 			scn := base
 			scn.NumTags = n
 			scn.Deployment.Tags = nil
 			scn.Family = fam
-			scn.Seed = base.Seed + int64(i)
-			m, err := runScenario(scn, fmt.Sprintf("%v codes, %d tags", fam, n))
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, Point{X: float64(n), Metrics: m})
+			scn.Seed = DeriveSeed(base.Seed, seedSweepCodes, uint64(i))
+			points = append(points, scn)
+		}
+	}
+	ms, err := RunCampaign(points, CampaignOpts{What: "code family sweep"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, 0, len(families))
+	k := 0
+	for _, fam := range families {
+		s := Series{Name: fam.String()}
+		for _, n := range tagCounts {
+			s.Points = append(s.Points, Point{X: float64(n), Metrics: ms[k]})
+			k++
 		}
 		out = append(out, s)
 	}
@@ -184,50 +185,37 @@ func randomPlacementScenario(base Scenario, n int, rng *rand.Rand) (Scenario, er
 // SweepPowerControl reproduces Fig. 9(c): mean error rate versus tag count
 // with and without the Algorithm 1 power-control loop, averaged over
 // `groups` random placements per point (paper: 50 groups). Placements are
-// drawn deterministically up front; the independent per-group runs then
-// execute in parallel.
+// drawn deterministically up front; both arms of each group then run as one
+// campaign, sharing seed and placement so the comparison is paired.
 func SweepPowerControl(base Scenario, tagCounts []int, groups int) ([]Series, error) {
 	withPC := Series{Name: "with power control"}
 	withoutPC := Series{Name: "without power control"}
-	rng := rand.New(rand.NewSource(base.Seed + 7777))
+	rng := rand.New(rand.NewSource(DeriveSeed(base.Seed, seedSweepPowerControlPlacement)))
 	for _, n := range tagCounts {
-		// Deterministic placement draws, then parallel execution.
-		scns := make([]Scenario, groups)
+		// Two scenarios per group: arm off at 2g, arm on at 2g+1.
+		points := make([]Scenario, 0, 2*groups)
 		for g := 0; g < groups; g++ {
 			scn, err := randomPlacementScenario(base, n, rng)
 			if err != nil {
 				return nil, err
 			}
-			scn.Seed = base.Seed + int64(g)*100 + int64(n)
+			scn.Seed = DeriveSeed(base.Seed, seedSweepPowerControl, uint64(g), uint64(n))
 			// Both arms boot tags in arbitrary impedance states — the
 			// regime Algorithm 1 is designed to repair (see Scenario doc).
 			scn.RandomInitialImpedance = true
-			scns[g] = scn
-		}
-		type pair struct{ no, pc float64 }
-		results := make([]pair, groups)
-		err := RunParallel(groups, func(g int) error {
-			scn := scns[g]
 			scn.PowerControl = false
-			mNo, err := runScenario(scn, "power control off")
-			if err != nil {
-				return err
-			}
+			points = append(points, scn)
 			scn.PowerControl = true
-			mPC, err := runScenario(scn, "power control on")
-			if err != nil {
-				return err
-			}
-			results[g] = pair{no: mNo.FER, pc: mPC.FER}
-			return nil
-		})
+			points = append(points, scn)
+		}
+		ms, err := RunCampaign(points, CampaignOpts{What: fmt.Sprintf("power control sweep, %d tags", n)})
 		if err != nil {
 			return nil, err
 		}
-		var sumPC, sumNo float64
-		for _, r := range results {
-			sumNo += r.no
-			sumPC += r.pc
+		var sumNo, sumPC float64
+		for g := 0; g < groups; g++ {
+			sumNo += ms[2*g].FER
+			sumPC += ms[2*g+1].FER
 		}
 		withPC.Points = append(withPC.Points, Point{
 			X: float64(n), Metrics: Metrics{NumTags: n, FER: sumPC / float64(groups)}})
@@ -263,6 +251,8 @@ func UserDetection(base Scenario, groupSize, trials int) (UserDetectionResult, e
 	if err != nil {
 		return UserDetectionResult{}, err
 	}
+	// The subset draws are auxiliary randomness, not a scenario seed — no
+	// collision risk — so the historical constant stays.
 	rng := rand.New(rand.NewSource(base.Seed + 4242))
 	res := UserDetectionResult{Trials: trials}
 	for t := 0; t < trials; t++ {
@@ -316,6 +306,7 @@ func UserDetection(base Scenario, groupSize, trials int) (UserDetectionResult, e
 // discoverable, as in the paper's correlation-based detector.
 func SweepAsync(base Scenario, delaysChips []float64) (Series, error) {
 	s := Series{Name: "2 tags, tag-2 delayed"}
+	points := make([]Scenario, 0, len(delaysChips))
 	for i, d := range delaysChips {
 		scn := base
 		scn.NumTags = 2
@@ -324,12 +315,15 @@ func SweepAsync(base Scenario, delaysChips []float64) (Series, error) {
 		scn.ExtraDelayChips = []float64{0, d}
 		scn.SearchChips = int(math.Ceil(math.Abs(d))) + 2
 		scn.JitterChips = 0.1
-		scn.Seed = base.Seed + int64(i)
-		m, err := runScenario(scn, fmt.Sprintf("delay %.2f chips", d))
-		if err != nil {
-			return s, err
-		}
-		s.Points = append(s.Points, Point{X: d, Metrics: m})
+		scn.Seed = DeriveSeed(base.Seed, seedSweepAsync, uint64(i))
+		points = append(points, scn)
+	}
+	ms, err := RunCampaign(points, CampaignOpts{What: "async sweep"})
+	if err != nil {
+		return s, err
+	}
+	for i, d := range delaysChips {
+		s.Points = append(s.Points, Point{X: d, Metrics: ms[i]})
 	}
 	return s, nil
 }
@@ -360,17 +354,21 @@ func WorkingConditions(base Scenario) ([]Point, error) {
 		}},
 		{CondOFDM, func(s *Scenario) { s.OFDMExcitation = true }},
 	}
-	var out []Point
+	points := make([]Scenario, 0, len(cases))
 	for i, c := range cases {
 		scn := base
 		scn.Deployment.Tags = nil
-		scn.Seed = base.Seed + int64(i)*13
+		scn.Seed = DeriveSeed(base.Seed, seedWorkingConditions, uint64(i))
 		c.mod(&scn)
-		m, err := runScenario(scn, c.label)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Point{X: float64(i), Label: c.label, Metrics: m})
+		points = append(points, scn)
+	}
+	ms, err := RunCampaign(points, CampaignOpts{What: "working conditions"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, 0, len(cases))
+	for i, c := range cases {
+		out = append(out, Point{X: float64(i), Label: c.label, Metrics: ms[i]})
 	}
 	return out, nil
 }
@@ -390,8 +388,8 @@ type PowerDiffRow struct {
 // lower when the difference is under 10% — is the motivation for power
 // control.
 func PowerDifferenceTable(base Scenario, pairs int) ([]PowerDiffRow, error) {
-	rng := rand.New(rand.NewSource(base.Seed + 99))
-	var out []PowerDiffRow
+	rng := rand.New(rand.NewSource(DeriveSeed(base.Seed, seedPowerDiffPlacement)))
+	points := make([]Scenario, 0, pairs)
 	for p := 0; p < pairs; p++ {
 		// The paper's benchmark (Fig. 3) places the pair near the ES–RX
 		// axis, keeping every link interference-limited; a full-room draw
@@ -405,11 +403,16 @@ func PowerDifferenceTable(base Scenario, pairs int) ([]PowerDiffRow, error) {
 		if err := scn.Deployment.PlaceTagsRandom(rng, 2, minSep); err != nil {
 			return nil, err
 		}
-		scn.Seed = base.Seed + int64(p)*17
-		m, err := runScenario(scn, fmt.Sprintf("pair %d", p))
-		if err != nil {
-			return nil, err
-		}
+		scn.Seed = DeriveSeed(base.Seed, seedPowerDiff, uint64(p))
+		points = append(points, scn)
+	}
+	ms, err := RunCampaign(points, CampaignOpts{What: "power difference table"})
+	if err != nil {
+		return nil, err
+	}
+	var out []PowerDiffRow
+	for p := 0; p < pairs; p++ {
+		scn := points[p]
 		// Mean received powers via the link budget at full reflection.
 		p1 := scn.Channel.BackscatterRxPower(
 			scn.Deployment.ES.Distance(scn.Deployment.Tags[0]),
@@ -419,14 +422,13 @@ func PowerDifferenceTable(base Scenario, pairs int) ([]PowerDiffRow, error) {
 			scn.Deployment.Tags[1].Distance(scn.Deployment.RX), 1)
 		noise := scn.Channel.NoiseFloorW()
 		maxP := math.Max(p1, p2)
-		row := PowerDiffRow{
+		out = append(out, PowerDiffRow{
 			Case:       fmt.Sprintf("%d", p+1),
 			SNR1:       dsp.DB(p1 / noise),
 			SNR2:       dsp.DB(p2 / noise),
 			Difference: (maxP - math.Min(p1, p2)) / maxP,
-			ErrorRate:  m.FER,
-		}
-		out = append(out, row)
+			ErrorRate:  ms[p].FER,
+		})
 	}
 	return out, nil
 }

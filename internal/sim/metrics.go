@@ -20,7 +20,14 @@ type Metrics struct {
 	// transmission — misattributions, which a deployed system would ACK
 	// incorrectly.
 	FalseFrames int
-	// AirtimeSeconds is the simulated on-air time.
+	// AirtimeSamples is the simulated on-air time in receiver samples.
+	// Integral so merging round partials is exact under any grouping —
+	// float-second accumulation is not associative, and the W=1≡W=N
+	// reproducibility contract needs bit-equal results.
+	AirtimeSamples int64
+	// AirtimeSeconds is the simulated on-air time, derived from
+	// AirtimeSamples by finalize (callers constructing Metrics directly may
+	// also set it themselves).
 	AirtimeSeconds float64
 	// PowerControlRounds counts Algorithm 1 adjustment rounds executed;
 	// PowerControlConverged reports whether the FER target was met.
@@ -62,8 +69,45 @@ func (m Metrics) TagDeliveryRatio(id int) float64 {
 	return float64(m.PerTagDelivered[id]) / float64(m.PerTagSent[id])
 }
 
+// Merge folds another Metrics value — typically a per-round partial built
+// by roundResult.metrics — into m. Every counter is integral, so merging is
+// associative and commutative over any partition of the rounds: serial
+// accumulation and any parallel merge order produce identical values. The
+// derived rate fields are not merged; call finalize on the result.
+func (m *Metrics) Merge(o Metrics) {
+	if m.NumTags == 0 {
+		m.NumTags = o.NumTags
+	}
+	m.FramesSent += o.FramesSent
+	m.FramesDetected += o.FramesDetected
+	m.FramesDelivered += o.FramesDelivered
+	m.FalseFrames += o.FalseFrames
+	m.AirtimeSamples += o.AirtimeSamples
+	m.AirtimeSeconds += o.AirtimeSeconds
+	m.PowerControlRounds += o.PowerControlRounds
+	m.PowerControlConverged = m.PowerControlConverged || o.PowerControlConverged
+	m.PerTagSent = mergeCounts(m.PerTagSent, o.PerTagSent)
+	m.PerTagDelivered = mergeCounts(m.PerTagDelivered, o.PerTagDelivered)
+}
+
+// mergeCounts adds src into dst elementwise, growing dst as needed.
+func mergeCounts(dst, src []int) []int {
+	if len(src) > len(dst) {
+		grown := make([]int, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
 // finalize derives the rate metrics from the counters.
 func (m *Metrics) finalize(scn Scenario) {
+	if m.AirtimeSamples > 0 && scn.SampleRateHz > 0 {
+		m.AirtimeSeconds = float64(m.AirtimeSamples) / scn.SampleRateHz
+	}
 	m.FER = 1 - stats.RatioOrZero(float64(m.FramesDelivered), float64(m.FramesSent))
 	m.PRR = 1 - m.FER
 	m.DetectionFER = 1 - stats.RatioOrZero(float64(m.FramesDetected), float64(m.FramesSent))

@@ -15,7 +15,12 @@ import (
 // independent: engines, tags and RNGs are single-goroutine objects, so
 // every fn(i) must build its own.
 func RunParallel(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
+	return runParallel(runtime.GOMAXPROCS(0), n, fn)
+}
+
+// runParallel is RunParallel with an explicit worker budget (RunCampaign
+// splits its budget between points and per-engine round workers).
+func runParallel(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}

@@ -126,6 +126,11 @@ type Scenario struct {
 	// state — and it is enabled for both arms of the Fig. 9(c) and
 	// Fig. 10 comparisons.
 	RandomInitialImpedance bool
+	// Workers sets how many goroutines execute the steady-state collision
+	// rounds. Zero or one selects the serial path. Any value produces
+	// bit-identical Metrics — rounds draw from per-round RNG streams and
+	// commit in round order — so Workers is purely a wall-clock knob.
+	Workers int
 }
 
 // DefaultScenario returns a runnable baseline: 2 tags with Gold-31 codes on
@@ -196,6 +201,9 @@ func (s *Scenario) validate() error {
 	}
 	if s.PacketsPerRound <= 0 {
 		s.PacketsPerRound = 20
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("sim: workers must be non-negative, got %d", s.Workers)
 	}
 	if s.ImpedanceStates < 0 {
 		return fmt.Errorf("sim: impedance states must be non-negative, got %d", s.ImpedanceStates)

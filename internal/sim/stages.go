@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"cbma/internal/channel"
+	"cbma/internal/dsp"
+	"cbma/internal/rx"
+	"cbma/internal/tag"
+	"cbma/internal/trace"
+)
+
+// This file is the staged round pipeline. One collision round runs as three
+// stages with isolated state:
+//
+//	buildTransmissions  tags + RNG streams -> delayed per-tag waveforms
+//	mixChannel          waveforms + links  -> one received I/Q buffer
+//	decodeAndAck        receiver + payload matching -> roundResult
+//
+// The first two stages are pure with respect to engine state: they read the
+// scenario and tag configuration and write only into the caller's
+// roundBuffers scratch. decodeAndAck needs a receiver (workers own clones)
+// but also mutates nothing on the engine; the only engine-state mutations
+// of a round — tag ACK counters and trace recording — are deferred to
+// Engine.commitRound so parallel workers can execute rounds out of order
+// while feedback and recording stay in round order.
+
+// roundBuffers is one worker's reusable scratch: one payload and waveform
+// buffer per active-tag slot, the placement bookkeeping slices, and the
+// mixing buffer the waveforms accumulate into. The mixing buffer alone is
+// tens of thousands of samples; reusing it (and the per-slot waveform
+// buffers) removes the dominant per-round allocations.
+type roundBuffers struct {
+	payloads [][]byte
+	waves    [][]complex128
+	offsets  []int
+	delays   []float64
+	mix      []complex128
+}
+
+// grow sizes the per-slot scratch for n active tags, retaining previously
+// allocated storage.
+func (rb *roundBuffers) grow(n int) {
+	if cap(rb.payloads) < n {
+		payloads := make([][]byte, n)
+		copy(payloads, rb.payloads)
+		rb.payloads = payloads
+		waves := make([][]complex128, n)
+		copy(waves, rb.waves)
+		rb.waves = waves
+		rb.offsets = make([]int, n)
+		rb.delays = make([]float64, n)
+	}
+	rb.payloads = rb.payloads[:n]
+	rb.waves = rb.waves[:n]
+	rb.offsets = rb.offsets[:n]
+	rb.delays = rb.delays[:n]
+}
+
+// mixFor returns a zeroed mixing buffer of length n, reusing capacity.
+func (rb *roundBuffers) mixFor(n int) []complex128 {
+	if cap(rb.mix) < n {
+		rb.mix = make([]complex128, n)
+	}
+	rb.mix = rb.mix[:n]
+	for i := range rb.mix {
+		rb.mix[i] = 0
+	}
+	return rb.mix
+}
+
+// transmissionSet is the output of buildTransmissions: the active tags'
+// delayed waveforms and placement, backed by roundBuffers storage.
+type transmissionSet struct {
+	active   []*tag.Tag
+	payloads [][]byte
+	waves    [][]complex128
+	// offsets holds the integer sample placement of each waveform relative
+	// to the nominal frame start; delays the raw (fractional) per-tag delay
+	// in samples before re-referencing, kept for trace recording.
+	offsets []int
+	delays  []float64
+	// maxEnd is the last occupied sample index relative to the lead region.
+	maxEnd int
+}
+
+// roundResult captures one collision round.
+type roundResult struct {
+	sent         int // frames transmitted (== active tags)
+	delivered    int // frames decoded with correct payload and CRC
+	falsePos     int // decoded-OK frames whose payload did not match
+	samples      int // buffer length, for airtime accounting
+	frames       []rx.DecodedFrame
+	sentIDs      []int
+	deliveredIDs []int
+	detectedIDs  []int
+	// acked indexes into the round's active slice: tags whose ACK survived
+	// the downlink loss draw. Applied to tag state by Engine.commitRound.
+	acked []int
+	// recorded carries the round's trace samples when recording is on.
+	recorded []trace.TagSample
+}
+
+// metrics converts the round's counters into a mergeable Metrics partial
+// (see Metrics.Merge); numTags sizes the per-tag slices.
+func (r roundResult) metrics(numTags int) Metrics {
+	m := Metrics{
+		NumTags:         numTags,
+		FramesSent:      r.sent,
+		FramesDetected:  len(r.detectedIDs),
+		FramesDelivered: r.delivered,
+		FalseFrames:     r.falsePos,
+		AirtimeSamples:  int64(r.samples),
+		PerTagSent:      make([]int, numTags),
+		PerTagDelivered: make([]int, numTags),
+	}
+	for _, id := range r.sentIDs {
+		if id >= 0 && id < numTags {
+			m.PerTagSent[id]++
+		}
+	}
+	for _, id := range r.deliveredIDs {
+		if id >= 0 && id < numTags {
+			m.PerTagDelivered[id]++
+		}
+	}
+	return m
+}
+
+// executeRound runs the full stage pipeline for one round using the given
+// RNG streams, scratch and receiver. It does not mutate engine or tag
+// state; callers must follow up with Engine.commitRound.
+func (e *Engine) executeRound(active []*tag.Tag, rs *roundStreams, rb *roundBuffers, recv *rx.Receiver) (roundResult, error) {
+	var res roundResult
+	if len(active) == 0 {
+		return res, ErrBadTagCount
+	}
+	// Trace replay substitutes the recorded delays before waveform
+	// placement and the recorded gains during mixing. The player is
+	// stateful and ordered, so replay runs only on the serial path (see
+	// Engine.workerCount).
+	var replay *trace.Round
+	if e.player != nil {
+		r, err := e.player.Next()
+		if err != nil {
+			return res, fmt.Errorf("sim: replaying round: %w", err)
+		}
+		replay = &r
+	}
+	tx, err := e.buildTransmissions(active, rs, rb, replay)
+	if err != nil {
+		return res, err
+	}
+	buf, recorded, err := e.mixChannel(tx, rs, rb, replay)
+	if err != nil {
+		return res, err
+	}
+	res, err = e.decodeAndAck(recv, buf, tx, rs)
+	res.recorded = recorded
+	return res, err
+}
+
+// buildTransmissions is the pure transmit stage: it draws each active
+// tag's clock jitter and payload, synthesizes the spread waveform, applies
+// the fractional-sample delay and (when configured) the per-tag CFO phase
+// ramp. All storage comes from rb.
+func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *roundBuffers, replay *trace.Round) (transmissionSet, error) {
+	spc := e.scn.SamplesPerChip()
+	rb.grow(len(active))
+	tx := transmissionSet{
+		active:   active,
+		payloads: rb.payloads,
+		waves:    rb.waves,
+		offsets:  rb.offsets,
+		delays:   rb.delays,
+	}
+	minDelay := math.Inf(1)
+	jitter := rs.rng(StreamJitter)
+	for i, tg := range active {
+		// Per-tag clock offset: fixed extra delay (Fig. 11) plus uniform
+		// jitter, in (fractional) samples.
+		delayChips := e.scn.JitterChips * (jitter.Float64() - 0.5)
+		if tg.ID() < len(e.scn.ExtraDelayChips) {
+			delayChips += e.scn.ExtraDelayChips[tg.ID()]
+		}
+		tx.delays[i] = delayChips * float64(spc)
+		if tx.delays[i] < minDelay {
+			minDelay = tx.delays[i]
+		}
+	}
+	if replay != nil {
+		minDelay = math.Inf(1)
+		for i, tg := range active {
+			s, ok := replay.Sample(tg.ID())
+			if !ok {
+				return tx, fmt.Errorf("sim: %w: tag %d absent in round %d",
+					trace.ErrTagCount, tg.ID(), replay.Seq)
+			}
+			tx.delays[i] = s.DelayChips * float64(spc)
+			if tx.delays[i] < minDelay {
+				minDelay = tx.delays[i]
+			}
+		}
+	}
+	payload := rs.rng(StreamPayload)
+	var cfo *roundStreams
+	if e.scn.CFOppm != 0 {
+		cfo = rs
+	}
+	for i, tg := range active {
+		if cap(tx.payloads[i]) < e.scn.PayloadBytes {
+			tx.payloads[i] = make([]byte, e.scn.PayloadBytes)
+		}
+		p := tx.payloads[i][:e.scn.PayloadBytes]
+		payload.Read(p)
+		tx.payloads[i] = p
+		w, err := tg.WaveformInto(tx.waves[i], p)
+		if err != nil {
+			return tx, err
+		}
+		// Re-reference delays to the earliest tag so none is clamped, then
+		// split into an integer placement offset and a fractional-sample
+		// delay. The fractional part is what starves the decoder at low
+		// oversampling (Fig. 9(a)): at one sample per chip a 0.2-chip skew
+		// cannot be re-aligned.
+		d := tx.delays[i] - minDelay
+		off := int(d)
+		if frac := d - float64(off); frac > 1e-9 {
+			dsp.FractionalDelayInPlace(w, frac)
+		}
+		if cfo != nil {
+			// Per-frame CFO draw: a uniform offset of ±CFOppm of the
+			// carrier, as a per-sample baseband phase ramp.
+			dfHz := e.scn.Channel.CarrierHz * e.scn.CFOppm / 1e6 * (2*cfo.rng(StreamCFO).Float64() - 1)
+			step := 2 * math.Pi * dfHz / e.scn.SampleRateHz
+			rot := complex(math.Cos(step), math.Sin(step))
+			phasor := complex(1, 0)
+			for k := range w {
+				w[k] *= phasor
+				phasor *= rot
+			}
+		}
+		tx.waves[i] = w
+		tx.offsets[i] = off
+		if end := e.leadSamples + off + len(w); end > tx.maxEnd {
+			tx.maxEnd = end
+		}
+	}
+	// Keep the shared slices in sync with any growth WaveformInto caused.
+	rb.payloads = tx.payloads
+	rb.waves = tx.waves
+	return tx, nil
+}
+
+// mixChannel is the pure channel stage: it realizes each tag's link,
+// accumulates the gained waveforms into one I/Q buffer, and applies the
+// shared channel effects (excitation gating, multipath, interference,
+// AWGN). It returns the received buffer and, when recording is enabled,
+// the round's trace samples.
+func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffers, replay *trace.Round) ([]complex128, []trace.TagSample, error) {
+	spc := e.scn.SamplesPerChip()
+	tail := 2 * e.set.ChipLength() * spc
+	buf := rb.mixFor(tx.maxEnd + tail)
+
+	// Optional intermittent (OFDM) excitation gate, shared by all tags:
+	// they all reflect the same exciter.
+	var gate []float64
+	if e.scn.OFDMExcitation {
+		gate = channel.ExcitationGate(rs.rng(StreamExcitation), len(buf), e.scn.SampleRateHz, 2e-3, 1e-3)
+	}
+
+	var recorded []trace.TagSample
+	for i, tg := range tx.active {
+		dg, err := tg.DeltaGamma()
+		if err != nil {
+			return nil, nil, err
+		}
+		var link channel.Link
+		switch {
+		case replay != nil:
+			s, _ := replay.Sample(tg.ID())
+			link = channel.Link{Gain: complex(s.GainRe, s.GainIm)}
+		case e.scn.StaticChannel:
+			link = e.scn.Channel.LinkWithFading(
+				e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg,
+				e.staticFading[tg.ID()])
+		default:
+			link = e.scn.Channel.DrawLink(
+				e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg, rs.rng(StreamFading))
+		}
+		if e.recorder != nil {
+			recorded = append(recorded, trace.TagSample{
+				TagID:      tg.ID(),
+				GainRe:     real(link.Gain),
+				GainIm:     imag(link.Gain),
+				DelayChips: tx.delays[i] / float64(spc),
+				Impedance:  int(tg.Impedance()),
+			})
+		}
+		base := e.leadSamples + tx.offsets[i]
+		for k, v := range tx.waves[i] {
+			s := v * link.Gain
+			if gate != nil {
+				s *= complex(gate[base+k], 0)
+			}
+			buf[base+k] += s
+		}
+	}
+
+	if e.scn.Multipath != nil {
+		buf = e.scn.Multipath.Apply(rs.rng(StreamMultipath), buf, e.scn.SampleRateHz)
+	}
+	for _, intf := range e.scn.Interferers {
+		intf.Apply(rs.rng(StreamInterference), buf, e.scn.SampleRateHz)
+	}
+	channel.AWGN(rs.rng(StreamNoise), buf, e.scn.Channel.NoiseFloorW())
+	return buf, recorded, nil
+}
+
+// decodeAndAck is the receive stage: it runs the receiver over the mixed
+// buffer, verifies payloads against the transmissions, and draws the ACK
+// downlink losses. The resulting ACKs are reported in roundResult.acked
+// rather than applied, keeping the stage free of tag mutation.
+func (e *Engine) decodeAndAck(recv *rx.Receiver, buf []complex128, tx transmissionSet, rs *roundStreams) (roundResult, error) {
+	var res roundResult
+	// The engine is also the reader: it triggered the tags, so it knows
+	// the nominal reply start (rx.ReceiveAt's timing reference).
+	out, err := recv.ReceiveAt(buf, e.leadSamples)
+	if err != nil {
+		return res, err
+	}
+	res.sent = len(tx.active)
+	res.samples = len(buf)
+	res.frames = out.Frames
+	for _, f := range out.Frames {
+		for _, tg := range tx.active {
+			if tg.ID() == f.TagID {
+				res.detectedIDs = append(res.detectedIDs, f.TagID)
+				break
+			}
+		}
+	}
+	for _, tg := range tx.active {
+		res.sentIDs = append(res.sentIDs, tg.ID())
+	}
+	for _, f := range out.Frames {
+		if !f.OK {
+			continue
+		}
+		idx := -1
+		for i, tg := range tx.active {
+			if tg.ID() == f.TagID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			res.falsePos++
+			continue
+		}
+		if bytes.Equal(f.Payload, tx.payloads[idx]) {
+			res.delivered++
+			res.deliveredIDs = append(res.deliveredIDs, tx.active[idx].ID())
+			// The ACK downlink may itself be lossy (Scenario.AckLossProb);
+			// receiver-side delivery metrics are unaffected, only the
+			// tag's feedback loop is starved.
+			if e.scn.AckLossProb <= 0 || rs.rng(StreamAckLoss).Float64() >= e.scn.AckLossProb {
+				res.acked = append(res.acked, idx)
+			}
+		} else {
+			res.falsePos++
+		}
+	}
+	return res, nil
+}
+
+// commitRound applies the round's engine-state mutations — the tags' MAC
+// counters and trace recording. Under parallel execution it is called in
+// round order by the coordinating goroutine, so tag feedback and recorded
+// traces are identical to the serial loop's.
+func (e *Engine) commitRound(active []*tag.Tag, res roundResult) {
+	for _, tg := range active {
+		tg.NoteFrameSent()
+	}
+	for _, idx := range res.acked {
+		active[idx].NoteAck()
+	}
+	if e.recorder != nil {
+		e.recorder.Record(res.recorded)
+	}
+}
