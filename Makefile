@@ -1,0 +1,29 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# commands. The repo is stdlib-only: no tool downloads are needed for
+# build/test/lint (staticcheck/govulncheck are CI extras).
+
+.PHONY: build test lint fmt fuzz bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# The repo's own determinism/hot-path analyzers (see DESIGN.md,
+# "Determinism invariants & lint rules").
+lint:
+	go vet ./...
+	go run ./cmd/cbmalint ./...
+
+fmt:
+	gofmt -l .
+
+FUZZTIME ?= 20s
+
+fuzz:
+	go test ./internal/pn/ -fuzz FuzzGoldBalance -fuzztime $(FUZZTIME) -run '^$$'
+	go test ./internal/rx/ -fuzz FuzzFrameSync -fuzztime $(FUZZTIME) -run '^$$'
+
+bench:
+	go test ./internal/sim/ -run '^$$' -bench BenchmarkCampaignFig8a -benchtime 1x

@@ -18,13 +18,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], time.Now); err != nil {
 		fmt.Fprintln(os.Stderr, "cbmabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run drives the experiment registry. The clock is injected so the
+// command's only wall-clock dependency sits in main, where nodeterm's
+// cmd/ exemption (and tests) can see it explicitly.
+func run(args []string, now func() time.Time) error {
 	fs := flag.NewFlagSet("cbmabench", flag.ContinueOnError)
 	var (
 		exp     = fs.String("exp", "all", "experiment ID to run, or 'all'")
@@ -71,11 +74,11 @@ func run(args []string) error {
 	}
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
-		start := time.Now()
+		start := now()
 		if err := e.Run(os.Stdout, opts); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Printf("    (%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("    (%.1fs)\n\n", now().Sub(start).Seconds())
 	}
 	return nil
 }

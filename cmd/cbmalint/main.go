@@ -1,0 +1,75 @@
+// Command cbmalint runs the repo's custom determinism and hot-path
+// analyzers (see internal/analysis) over the given package patterns:
+//
+//	go run ./cmd/cbmalint ./...      # whole module (CI does this)
+//	go run ./cmd/cbmalint -list      # show the suite
+//
+// It prints one line per finding and exits non-zero when any finding
+// survives. Findings are suppressed inline with
+// `//cbma:allow <analyzer> <reason>` on the offending line or the line
+// above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cbma/internal/analysis"
+	"cbma/internal/analysis/framework"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cbmalint:", err)
+		os.Exit(1)
+	}
+}
+
+// errFindings distinguishes "the suite found problems" from driver failures.
+type errFindings int
+
+func (e errFindings) Error() string { return fmt.Sprintf("%d findings", int(e)) }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cbmalint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := framework.Load(".", patterns...)
+	if err != nil {
+		return err
+	}
+	diags, err := prog.Run(analysis.Suite())
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		return errFindings(len(diags))
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

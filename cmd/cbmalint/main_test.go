@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cbma/internal/analysis"
+	"cbma/internal/analysis/framework"
+)
+
+// TestListFlag checks the suite registry is wired into the driver.
+func TestListFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nodeterm", "rngpurpose", "hotalloc", "inplacealias"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestModuleClean asserts the repo satisfies its own lint suite: the same
+// invariant CI enforces with `go run ./cmd/cbmalint ./...`.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	prog, err := framework.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run(analysis.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,118 @@
+// Package analysistest runs analyzers over golden fixture directories,
+// mirroring golang.org/x/tools/go/analysis/analysistest: each fixture file
+// annotates the lines where diagnostics are expected with
+//
+//	code() // want "regexp" "another regexp"
+//
+// and Run fails the test for every expected-but-missing and every
+// unexpected diagnostic. Fixture directories are plain (non-module)
+// packages that may import only the standard library; the //cbma:allow
+// suppression machinery is active, so fixtures can also assert that a
+// suppressed finding stays silent by simply carrying no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cbma/internal/analysis/framework"
+)
+
+// expectation is one compiled want pattern awaiting a diagnostic.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*)$`)
+
+// Run loads the fixture directory as one package and checks the analyzers'
+// diagnostics against its want comments.
+func Run(t *testing.T, dir string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	prog, err := framework.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := prog.Run(analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	want := map[lineKey][]*expectation{}
+	for _, f := range prog.Roots[0].Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pats, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment %q: %v", prog.Fset.Position(c.Pos()), c.Text, err)
+				}
+				pos := prog.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					want[k] = append(want[k], &expectation{re: re, raw: p})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		exps := want[lineKey{d.Pos.Filename, d.Pos.Line}]
+		matched := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, exps := range want {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, e.raw)
+			}
+		}
+	}
+}
+
+// parsePatterns splits the tail of a want comment into its quoted regexps.
+func parsePatterns(s string) ([]string, error) {
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats, nil
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		p, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, p)
+		s = s[len(q):]
+	}
+}

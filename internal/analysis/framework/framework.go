@@ -1,0 +1,166 @@
+// Package framework is a dependency-free skeleton of the golang.org/x/tools
+// go/analysis vocabulary — Analyzer, Pass, Diagnostic — plus the program
+// loader and fixture runner the cbmalint suite is built on. The real
+// go/analysis module is deliberately not used: the simulator's module has no
+// external dependencies, and the analyzers only need the subset implemented
+// here (per-package syntax + full type information, diagnostics with
+// positions, and an inline suppression mechanism).
+//
+// Suppression: a finding is silenced by the directive comment
+//
+//	//cbma:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory by convention (reviewers should see why the invariant is waived)
+// but not enforced.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //cbma:allow
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package through the Pass and reports findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// FuncDecl resolves a function object — possibly from another package of
+	// the loaded program — to its declaration syntax, or nil when the
+	// function's source was not loaded. Analyzers use it to read the callee's
+	// doc comment (e.g. inplacealias checks for documented aliasing support).
+	FuncDecl func(fn *types.Func) *ast.FuncDecl
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// allowRe matches the suppression directive. Directive comments have no
+// space after //, matching the Go toolchain's //go: convention.
+var allowRe = regexp.MustCompile(`^//cbma:allow\s+([A-Za-z0-9_]+)`)
+
+// allowIndex records, per file and line, which analyzers are suppressed.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// buildAllowIndex scans every comment of the files for //cbma:allow
+// directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	idx := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				idx[allowKey{pos.Filename, pos.Line, m[1]}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// runAnalyzers executes the analyzers over one package and returns the
+// surviving (non-suppressed) diagnostics, sorted by position.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, funcDecl func(*types.Func) *ast.FuncDecl) ([]Diagnostic, error) {
+
+	allow := buildAllowIndex(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			FuncDecl:  funcDecl,
+			report: func(d Diagnostic) {
+				if allow[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+					allow[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+					return
+				}
+				out = append(out, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// HasDirective reports whether the doc comment group contains the given
+// directive (e.g. "cbma:hotpath"), optionally followed by a note.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

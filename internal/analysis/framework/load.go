@@ -1,0 +1,306 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// The loader typechecks the target packages and their whole dependency
+// closure from source, using only the standard library: `go list -deps
+// -json` supplies the platform-filtered file lists in dependency order, and
+// go/types checks each package against the packages checked before it.
+// Dependency packages are checked with IgnoreFuncBodies (their exported API
+// is all the target packages need), so the cost stays close to a plain
+// build. This replaces golang.org/x/tools/go/packages, which the module
+// deliberately does not depend on.
+
+// Program is a loaded and typechecked set of packages.
+type Program struct {
+	Fset *token.FileSet
+	// Roots are the pattern-matched packages, in `go list` order; analyzers
+	// run over these only.
+	Roots []*PackageInfo
+	// decls indexes every parsed function declaration of the program
+	// (dependencies included) by its type-checker object.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// PackageInfo is one typechecked package with its syntax.
+type PackageInfo struct {
+	Path  string
+	Types *types.Package
+	Info  *types.Info
+	Files []*ast.File
+}
+
+// FuncDecl resolves a function object to its declaration, or nil.
+func (p *Program) FuncDecl(fn *types.Func) *ast.FuncDecl { return p.decls[fn] }
+
+// Run executes the analyzers over every root package and returns all
+// surviving diagnostics sorted by position.
+func (p *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range p.Roots {
+		ds, err := runAnalyzers(analyzers, p.Fset, pkg.Files, pkg.Types, pkg.Info, p.FuncDecl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -json` in dir over the patterns and returns the
+// packages in dependency order (dependencies before dependents).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Cgo-free file lists: the typechecker cannot process import "C"
+	// packages, and no package of this module needs them.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// loader typechecks listed packages in order, acting as its own
+// types.Importer backed by the packages already checked.
+type loader struct {
+	fset  *token.FileSet
+	pkgs  map[string]*types.Package
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func newLoader() *loader {
+	return &loader{
+		fset:  token.NewFileSet(),
+		pkgs:  make(map[string]*types.Package),
+		decls: make(map[*types.Func]*ast.FuncDecl),
+	}
+}
+
+// Import implements types.Importer over the already-checked packages.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded (dependency order violated?)", path)
+}
+
+func (l *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check typechecks one package from its parsed files. When full is false,
+// function bodies are skipped (sufficient for dependencies).
+func (l *loader) check(path string, files []*ast.File, full bool) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: !full,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	l.pkgs[path] = pkg
+	l.indexDecls(files, info)
+	return pkg, info, nil
+}
+
+// indexDecls records every function declaration's object → syntax mapping.
+func (l *loader) indexDecls(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				l.decls[fn] = fd
+			}
+		}
+	}
+}
+
+// Load typechecks the packages matched by the patterns (plus their
+// dependency closure) under dir, which must lie inside a module.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	prog := &Program{Fset: l.fset}
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s requires cgo, which the loader does not support", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files, err := l.parseFiles(lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		full := !lp.DepOnly
+		pkg, info, err := l.check(lp.ImportPath, files, full)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly {
+			prog.Roots = append(prog.Roots, &PackageInfo{
+				Path:  lp.ImportPath,
+				Types: pkg,
+				Info:  info,
+				Files: files,
+			})
+		}
+	}
+	prog.decls = l.decls
+	return prog, nil
+}
+
+// LoadDir typechecks a single directory of Go files as one package whose
+// import path is the directory's base name, resolving its (standard-library)
+// imports through `go list`. The fixture runner uses it to check analyzer
+// testdata that is not part of any module.
+func LoadDir(dir string) (*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	l := newLoader()
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the fixture's imports (standard library only) through go list
+	// so their platform-filtered sources typecheck in dependency order.
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	sort.Strings(imports)
+	if len(imports) > 0 {
+		listed, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if !lp.Standard {
+				return nil, fmt.Errorf("fixture %s imports non-standard package %s", dir, lp.ImportPath)
+			}
+			if lp.ImportPath == "unsafe" || len(lp.GoFiles) == 0 {
+				continue
+			}
+			depFiles, err := l.parseFiles(lp.Dir, lp.GoFiles)
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := l.check(lp.ImportPath, depFiles, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	path := filepath.Base(dir)
+	pkg, info, err := l.check(path, files, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Fset:  l.fset,
+		Roots: []*PackageInfo{{Path: path, Types: pkg, Info: info, Files: files}},
+		decls: l.decls,
+	}, nil
+}

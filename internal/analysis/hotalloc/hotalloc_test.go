@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"cbma/internal/analysis/analysistest"
+	"cbma/internal/analysis/hotalloc"
+)
+
+func TestBadFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", hotalloc.Analyzer)
+}
+
+func TestGoodFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/good", hotalloc.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package bad exercises the hotalloc findings: unguarded allocation,
+// closures and interface boxing inside //cbma:hotpath functions.
+package bad
+
+func sink(v any) { _ = v }
+
+// process is an annotated hot kernel with unguarded allocations.
+//
+//cbma:hotpath
+func process(dst, src []float64) []float64 {
+	tmp := make([]float64, len(src)) // want "make in hot path"
+	for i, v := range src {
+		tmp[i] = v * 2
+	}
+	dst = append(dst, tmp...) // want "append in hot path"
+	return dst
+}
+
+// closure builds its kernel per call.
+//
+//cbma:hotpath
+func closure(xs []float64) float64 {
+	f := func(v float64) float64 { return v * v } // want "closure in hot path"
+	total := 0.0
+	for _, v := range xs {
+		total += f(v)
+	}
+	return total
+}
+
+// boxes leaks concrete values through interfaces.
+//
+//cbma:hotpath
+func boxes(x int) any {
+	var out any
+	out = x // want "stored into interface"
+	sink(x) // want "converted to interface"
+	return out
+}

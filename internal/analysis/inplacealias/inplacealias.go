@@ -1,0 +1,82 @@
+// Package inplacealias guards the dsp/tag scratch-buffer convention: the
+// `*Into` and `*InPlace` functions write results through caller-provided
+// destination slices, and most of them read their sources while writing.
+// Passing the same slice as both a source and the destination silently
+// corrupts the computation (the kernel reads values it has already
+// overwritten), so calls handing one slice to two distinct slice parameters
+// are flagged — unless the callee's doc comment explicitly documents
+// aliasing support (contains the word "alias").
+package inplacealias
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the inplacealias check.
+var Analyzer = &framework.Analyzer{
+	Name: "inplacealias",
+	Doc:  "forbid passing one slice as both source and destination of *Into/*InPlace calls",
+	Run:  run,
+}
+
+var aliasDoc = regexp.MustCompile(`(?i)\balias`)
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	if !strings.HasSuffix(name, "Into") && !strings.HasSuffix(name, "InPlace") {
+		return
+	}
+	if decl := pass.FuncDecl(fn); decl != nil && decl.Doc != nil && aliasDoc.MatchString(decl.Doc.Text()) {
+		return // aliasing is part of the documented contract
+	}
+	// Collect the canonical text of every slice-typed argument; a repeat
+	// means one slice serves two roles in the same call.
+	seen := map[string]int{} // canonical arg text -> first argument index
+	for i, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+			continue
+		}
+		key := types.ExprString(ast.Unparen(arg))
+		if first, dup := seen[key]; dup {
+			pass.Reportf(arg.Pos(),
+				"%s receives %s as both argument %d and argument %d: %s does not document aliasing support, so the overlapping read/write corrupts the result",
+				name, key, first+1, i+1, name)
+			continue
+		}
+		seen[key] = i
+	}
+}

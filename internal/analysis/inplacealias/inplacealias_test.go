@@ -1,0 +1,16 @@
+package inplacealias_test
+
+import (
+	"testing"
+
+	"cbma/internal/analysis/analysistest"
+	"cbma/internal/analysis/inplacealias"
+)
+
+func TestBadFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", inplacealias.Analyzer)
+}
+
+func TestGoodFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/good", inplacealias.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Package bad exercises the inplacealias findings: one slice handed to two
+// slice parameters of an Into/InPlace callee that does not document
+// aliasing support.
+package bad
+
+// ScaleInto writes k*src through dst; dst and src must not overlap.
+func ScaleInto(dst, src []float64, k float64) {
+	for i, v := range src {
+		dst[i] = v * k
+	}
+}
+
+// Filter is a stateful kernel with an Into method.
+type Filter struct{ taps []float64 }
+
+// ApplyInto convolves src with the taps into dst.
+func (f *Filter) ApplyInto(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i] * f.taps[0]
+	}
+}
+
+func aliased(buf []float64, f *Filter) {
+	ScaleInto(buf, buf, 2)         // want "both argument 1 and argument 2"
+	f.ApplyInto(buf, buf)          // want "both argument 1 and argument 2"
+	ScaleInto(buf[:4], buf[:4], 2) // want "both argument 1 and argument 2"
+}

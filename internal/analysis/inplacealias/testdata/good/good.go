@@ -1,0 +1,32 @@
+// Package good holds Into/InPlace calls inplacealias accepts: distinct
+// buffers, a callee that documents aliasing support, and a reviewed
+// suppression.
+package good
+
+// ScaleInto writes k*src through dst; dst and src must not overlap.
+func ScaleInto(dst, src []float64, k float64) {
+	for i, v := range src {
+		dst[i] = v * k
+	}
+}
+
+// AccumulateInto adds src into dst element-wise. Aliasing dst and src is
+// supported: each element is read before it is written.
+func AccumulateInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+func distinctBuffers(dst, src []float64) {
+	ScaleInto(dst, src, 2)
+}
+
+func documentedAlias(buf []float64) {
+	AccumulateInto(buf, buf)
+}
+
+func suppressed(buf []float64) {
+	//cbma:allow inplacealias fixture demonstrates the suppression directive
+	ScaleInto(buf, buf, 2)
+}

@@ -1,0 +1,244 @@
+// Package nodeterm forbids the nondeterminism sources that would break the
+// simulator's bit-identical-across-workers guarantee (DESIGN.md, "Execution
+// model"): draws from the global math/rand source, wall-clock reads, and
+// map-range iteration that feeds Metrics, report, or trace output. RNG must
+// arrive as an injected *rand.Rand or an rngstream derivation; map iteration
+// that influences results must walk a sorted copy.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the nodeterm check.
+var Analyzer = &framework.Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid global rand draws, wall-clock reads and result-feeding map ranges in sim packages",
+	Run:  run,
+}
+
+// scope lists the package path prefixes the determinism rules apply to: the
+// whole round pipeline and every layer it draws randomness through. The
+// exemptions are deliberate and documented (DESIGN.md): cmd/* binaries may
+// read the wall clock to report elapsed time, the public root package only
+// wraps internal/sim, internal/report is a pure formatting layer over
+// already-computed results, and internal/paperbench drives experiments whose
+// determinism the sim layer already owns. Packages outside the cbma module
+// (the analyzer's own test fixtures) are always in scope.
+var scope = []string{
+	"cbma/internal/sim",
+	"cbma/internal/rx",
+	"cbma/internal/channel",
+	"cbma/internal/mac",
+	"cbma/internal/baseline",
+	"cbma/internal/core",
+	"cbma/internal/geom",
+	"cbma/internal/tag",
+	"cbma/internal/dsp",
+	"cbma/internal/frame",
+	"cbma/internal/pn",
+	"cbma/internal/stats",
+	"cbma/internal/trace",
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "cbma") {
+		return true // analyzer fixtures
+	}
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand package-level functions that build a
+// generator from an explicit seed rather than drawing from the global
+// source; constructing is allowed, drawing is not.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// clockFuncs are the time package functions that read or depend on the wall
+// clock (or the runtime timer); any of them makes a sim-path result depend
+// on execution timing.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// callee resolves the called package-level function or method, or nil.
+func callee(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Float64) are fine: the receiver carries an
+	// injected generator. Only package-level functions are global state.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand draw %s: sim paths must use an injected *rand.Rand (see internal/sim/rngstream.go)",
+				fn.Name())
+		}
+	case "time":
+		if clockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"wall-clock dependency time.%s: sim results must not depend on execution timing (cmd/ binaries are exempt)",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for … range m` over a map when the loop body feeds
+// simulation output: a Metrics value, the report/trace layers, or direct
+// printing. Map iteration order is randomized per run, so any of these makes
+// the output order (or content) nondeterministic; iterate a sorted key slice
+// instead.
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if sink := outputSink(pass, rng.Body); sink != "" {
+		pass.Reportf(rng.Pos(),
+			"map iteration order feeds %s; iterate a sorted copy of the keys instead", sink)
+	}
+}
+
+// outputSink scans a map-range body for writes that make iteration order
+// observable in results, returning a description of the first sink found.
+func outputSink(pass *framework.Pass, body *ast.BlockStmt) string {
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := callee(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			switch {
+			case path == "cbma/internal/report" || strings.HasSuffix(path, "/report"):
+				sink = "report output"
+			case path == "cbma/internal/trace" || strings.HasSuffix(path, "/trace"):
+				sink = "trace output"
+			case path == "fmt" && strings.HasPrefix(fn.Name(), "Print"),
+				path == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+				sink = "printed output"
+			}
+			// Mutating a Metrics value inside the loop also orders results;
+			// caught by the assignment cases below.
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if touchesMetrics(pass, lhs) {
+					sink = "a Metrics value"
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if touchesMetrics(pass, n.X) {
+				sink = "a Metrics value"
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// touchesMetrics reports whether expr reads or writes (a field, element or
+// copy of) a type named Metrics.
+func touchesMetrics(pass *framework.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok {
+			return true
+		}
+		if isMetrics(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isMetrics(t types.Type) bool {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Slice:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name() == "Metrics"
+		default:
+			return false
+		}
+	}
+}

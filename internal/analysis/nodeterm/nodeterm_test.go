@@ -1,0 +1,16 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"cbma/internal/analysis/analysistest"
+	"cbma/internal/analysis/nodeterm"
+)
+
+func TestBadFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", nodeterm.Analyzer)
+}
+
+func TestGoodFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/good", nodeterm.Analyzer)
+}

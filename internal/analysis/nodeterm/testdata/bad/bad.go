@@ -1,0 +1,38 @@
+// Package bad exercises every nodeterm finding: global math/rand draws,
+// wall-clock reads, and map ranges feeding observable output.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Metrics mirrors the simulator's per-round metrics aggregate.
+type Metrics struct {
+	Decoded int
+}
+
+func globalDraws() (int, float64) {
+	a := rand.Int()     // want "global math/rand draw Int"
+	b := rand.Float64() // want "global math/rand draw Float64"
+	return a, b
+}
+
+func wallClock() time.Time {
+	t := time.Now()              // want "wall-clock dependency time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock dependency time.Sleep"
+	return t
+}
+
+func printRange(m map[int]string) {
+	for k, v := range m { // want "map iteration order feeds printed output"
+		fmt.Println(k, v)
+	}
+}
+
+func metricsRange(counts map[int]int, agg *Metrics) {
+	for _, n := range counts { // want "map iteration order feeds a Metrics value"
+		agg.Decoded += n
+	}
+}

@@ -1,0 +1,47 @@
+// Package good holds code every nodeterm rule accepts: injected
+// generators, explicit constructors, sorted map iteration, and a reviewed
+// suppression.
+package good
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Metrics mirrors the simulator's per-round metrics aggregate.
+type Metrics struct {
+	Decoded int
+}
+
+func injected(r *rand.Rand) float64 {
+	return r.Float64() // method on an injected generator, not global state
+}
+
+func constructors(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructing is allowed, drawing is not
+}
+
+func sortedRange(m map[int]string) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func localAggregate(counts map[int]int) int {
+	total := 0
+	for _, n := range counts { // order-insensitive reduction: no sink
+		total += n
+	}
+	return total
+}
+
+func suppressed() int {
+	//cbma:allow nodeterm fixture demonstrates the suppression directive
+	return rand.Int()
+}

@@ -1,0 +1,161 @@
+// Package rngpurpose enforces the seed-derivation hygiene of the rngstream
+// design (internal/sim/rngstream.go): every DeriveSeed call site must carry
+// a distinct, constant purpose label as its first label argument, so that no
+// two derivations off the same base seed can ever collide and correlate
+// supposedly independent streams. Forwarding the purpose through a function
+// parameter is allowed (the responsibility moves to the callers);
+// arbitrary computed purposes are not. streamSeed, the internal stream-tree
+// mixer, must not leak outside its declaring file.
+package rngpurpose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the rngpurpose check.
+var Analyzer = &framework.Analyzer{
+	Name: "rngpurpose",
+	Doc:  "require distinct constant purpose labels at DeriveSeed call sites",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	// Position of the first call using each constant purpose value, keyed by
+	// the callee's package so distinct DeriveSeed implementations (e.g. the
+	// fixture's own stub) do not interfere.
+	seen := map[string]string{}
+	for _, file := range pass.Files {
+		// FuncDecls cannot nest in Go, so the enclosing function of any call
+		// is simply the top-level declaration it appears under (package-level
+		// initializer expressions have none).
+		for _, decl := range file.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, call, fd, file, seen)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr, enclosing *ast.FuncDecl, file *ast.File, seen map[string]string) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	switch fn.Name() {
+	case "DeriveSeed":
+		checkDerive(pass, call, fn, enclosing, seen)
+	case "streamSeed":
+		checkStreamSeed(pass, call, fn, file)
+	}
+}
+
+// checkStreamSeed confines the internal mixer to its declaring file: every
+// other caller must go through the roundStreams tree (or DeriveSeed), which
+// is what guarantees phase/round/stream separation.
+func checkStreamSeed(pass *framework.Pass, call *ast.CallExpr, fn *types.Func, file *ast.File) {
+	decl := pass.FuncDecl(fn)
+	if decl == nil {
+		return // declared outside the loaded program; nothing to confine
+	}
+	declFile := pass.Fset.Position(decl.Pos()).Filename
+	callFile := pass.Fset.Position(call.Pos()).Filename
+	if declFile != callFile {
+		pass.Reportf(call.Pos(),
+			"streamSeed is internal to the stream tree: derive round streams via roundStreams.rng or seeds via DeriveSeed")
+	}
+}
+
+// checkDerive validates one DeriveSeed(seed, labels...) call.
+func checkDerive(pass *framework.Pass, call *ast.CallExpr, fn *types.Func, enclosing *ast.FuncDecl, seen map[string]string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() != 2 {
+		return // not the DeriveSeed(seed int64, labels ...uint64) shape
+	}
+	if call.Ellipsis.IsValid() {
+		// DeriveSeed(seed, labels...) — a forwarding wrapper. The slice must
+		// itself be a parameter of the enclosing function, so the purpose
+		// discipline transfers to the wrapper's callers.
+		if len(call.Args) == 2 && isParam(pass, call.Args[1], enclosing) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"DeriveSeed with a computed label slice: purposes must be constants (or forwarded parameters)")
+		return
+	}
+	if len(call.Args) < 2 {
+		pass.Reportf(call.Pos(),
+			"DeriveSeed without a purpose label re-mixes the bare seed; add a distinct constant label")
+		return
+	}
+	purpose := call.Args[1]
+	tv, ok := pass.TypesInfo.Types[purpose]
+	if !ok {
+		return
+	}
+	if tv.Value != nil {
+		key := fn.Pkg().Path() + "|" + tv.Value.ExactString()
+		pos := pass.Fset.Position(call.Pos()).String()
+		if prev, dup := seen[key]; dup {
+			pass.Reportf(purpose.Pos(),
+				"purpose %s already used at %s: duplicated purposes correlate derived seed streams",
+				tv.Value, prev)
+		} else {
+			seen[key] = pos
+		}
+		return
+	}
+	if isParam(pass, purpose, enclosing) {
+		return // forwarded purpose; callers supply the constant
+	}
+	pass.Reportf(purpose.Pos(),
+		"non-constant DeriveSeed purpose: use a distinct named constant (or forward a parameter)")
+}
+
+// isParam reports whether expr is a plain identifier naming a parameter of
+// the enclosing function.
+func isParam(pass *framework.Pass, expr ast.Expr, enclosing *ast.FuncDecl) bool {
+	if enclosing == nil {
+		return false
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if enclosing.Type.Params == nil {
+		return false
+	}
+	for _, field := range enclosing.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.TypesInfo.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+// Package bad exercises the rngpurpose findings. It declares local stubs
+// with the rngstream API shapes (fixtures cannot import cbma packages).
+package bad
+
+// Fixture seed purposes.
+const (
+	purposeChannel uint64 = 1
+	purposeNoise   uint64 = 2
+)
+
+// DeriveSeed mirrors the rngstream derivation shape.
+func DeriveSeed(seed int64, labels ...uint64) int64 {
+	for _, l := range labels {
+		seed ^= int64(l * 0x9e3779b97f4a7c15)
+	}
+	return seed
+}
+
+// streamSeed mirrors the internal stream-tree mixer; rngpurpose confines it
+// to this file.
+func streamSeed(seed int64, labels ...uint64) int64 {
+	return DeriveSeed(seed, labels...) // forwarding a parameter slice is fine
+}
+
+func sameFileCall(seed int64) int64 {
+	return streamSeed(seed, purposeChannel) // declaring file: allowed
+}

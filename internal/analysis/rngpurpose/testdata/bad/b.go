@@ -1,0 +1,27 @@
+package bad
+
+var sink int64
+
+func duplicated(seed int64) {
+	a := DeriveSeed(seed, purposeChannel)
+	b := DeriveSeed(seed, purposeChannel) // want "already used"
+	sink = a + b
+}
+
+func missing(seed int64) int64 {
+	return DeriveSeed(seed) // want "without a purpose label"
+}
+
+func computed(seed int64, round uint64) int64 {
+	label := round + 7
+	return DeriveSeed(seed, label) // want "non-constant DeriveSeed purpose"
+}
+
+func computedSlice(seed int64) int64 {
+	labels := []uint64{3, 4}
+	return DeriveSeed(seed, labels...) // want "computed label slice"
+}
+
+func escaped(seed int64) int64 {
+	return streamSeed(seed, purposeNoise) // want "streamSeed is internal"
+}

@@ -1,0 +1,43 @@
+// Package good uses DeriveSeed the way the rngstream design intends:
+// one distinct constant purpose per call site, with forwarding wrappers
+// passing the responsibility to their callers.
+package good
+
+// Fixture seed purposes, one per derivation site.
+const (
+	purposeGeom  uint64 = 1
+	purposeFade  uint64 = 2
+	purposeRound uint64 = 3
+)
+
+// DeriveSeed mirrors the rngstream derivation shape.
+func DeriveSeed(seed int64, labels ...uint64) int64 {
+	for _, l := range labels {
+		seed ^= int64(l * 0x9e3779b97f4a7c15)
+	}
+	return seed
+}
+
+func distinct(seed int64) (int64, int64) {
+	return DeriveSeed(seed, purposeGeom), DeriveSeed(seed, purposeFade)
+}
+
+// sweepSeed forwards its purpose; its callers own distinctness.
+func sweepSeed(seed int64, purpose uint64) int64 {
+	return DeriveSeed(seed, purpose)
+}
+
+// forward forwards a whole label slice received as a parameter.
+func forward(seed int64, labels ...uint64) int64 {
+	return DeriveSeed(seed, labels...)
+}
+
+func perRound(seed int64, round uint64) int64 {
+	// Trailing labels may vary; only the leading purpose must be constant.
+	return DeriveSeed(seed, purposeRound, round)
+}
+
+func suppressedDuplicate(seed int64) int64 {
+	//cbma:allow rngpurpose fixture demonstrates the suppression directive
+	return DeriveSeed(seed, purposeGeom)
+}

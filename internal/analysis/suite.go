@@ -1,0 +1,24 @@
+// Package analysis assembles the cbmalint suite: the repo-specific static
+// checks that turn the simulator's reproducibility conventions — injected
+// RNG streams, distinct seed-derivation purposes, allocation-free hot
+// paths, alias-safe Into/InPlace calls — into CI-enforced rules. See
+// DESIGN.md, "Determinism invariants & lint rules".
+package analysis
+
+import (
+	"cbma/internal/analysis/framework"
+	"cbma/internal/analysis/hotalloc"
+	"cbma/internal/analysis/inplacealias"
+	"cbma/internal/analysis/nodeterm"
+	"cbma/internal/analysis/rngpurpose"
+)
+
+// Suite returns the analyzers cbmalint runs, in reporting order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		nodeterm.Analyzer,
+		rngpurpose.Analyzer,
+		hotalloc.Analyzer,
+		inplacealias.Analyzer,
+	}
+}

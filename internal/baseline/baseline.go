@@ -18,6 +18,15 @@ import (
 // ErrBadConfig reports invalid baseline parameters.
 var ErrBadConfig = errors.New("baseline: invalid configuration")
 
+// Labels for sim.DeriveSeed: the packet-level baselines' slot lotteries.
+// Kept clear of internal/sim's sweep labels (1–11), internal/core's
+// (201–203) and internal/paperbench's (300s).
+const (
+	seedFSA   uint64 = 210
+	seedFDMA  uint64 = 211
+	seedQAlgo uint64 = 212
+)
+
 // Result summarizes a baseline MAC run.
 type Result struct {
 	// Scheme names the MAC ("tdma", "fsa", "fdma", "cbma").
@@ -121,6 +130,10 @@ type FSAConfig struct {
 	PayloadBytes int
 	// Seed drives the slot lottery.
 	Seed int64
+	// Rand, when non-nil, supplies the slot lottery directly (e.g. a
+	// stream derived by the enclosing experiment); otherwise a generator is
+	// derived from Seed through sim.DeriveSeed.
+	Rand *rand.Rand
 }
 
 // FSA simulates framed slotted ALOHA at the packet level: each of n tags
@@ -138,7 +151,10 @@ func FSA(n int, cfg FSAConfig) (Result, error) {
 	if cfg.PayloadBytes == 0 {
 		cfg.PayloadBytes = 16
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, seedFSA)))
+	}
 	var sent, delivered int
 	for f := 0; f < cfg.Frames; f++ {
 		occupancy := make([]int, cfg.FrameSlots)
@@ -180,6 +196,9 @@ type FDMAConfig struct {
 	// Seed drives channel assignment collisions when tags outnumber
 	// channels.
 	Seed int64
+	// Rand, when non-nil, supplies the slot lottery directly; otherwise a
+	// generator is derived from Seed through sim.DeriveSeed.
+	Rand *rand.Rand
 }
 
 // FDMA models frequency-division access at the packet level: tags are
@@ -196,7 +215,10 @@ func FDMA(n int, cfg FDMAConfig) (Result, error) {
 	if cfg.PayloadBytes == 0 {
 		cfg.PayloadBytes = 16
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, seedFDMA)))
+	}
 	// Tags per channel (round-robin assignment).
 	perChannel := make([]int, cfg.Channels)
 	for t := 0; t < n; t++ {

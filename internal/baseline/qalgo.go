@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"cbma/internal/sim"
 	"cbma/internal/stats"
 )
 
@@ -33,6 +34,9 @@ type QAlgoConfig struct {
 	PayloadBytes int
 	// Seed drives the slot lottery.
 	Seed int64
+	// Rand, when non-nil, supplies the slot lottery directly; otherwise a
+	// generator is derived from Seed through sim.DeriveSeed.
+	Rand *rand.Rand
 }
 
 func (c QAlgoConfig) withDefaults() QAlgoConfig {
@@ -61,7 +65,10 @@ func QAlgo(n int, cfg QAlgoConfig) (Result, error) {
 		return Result{}, fmt.Errorf("%w: tags and inventories must be positive", ErrBadConfig)
 	}
 	c := cfg.withDefaults()
-	rng := rand.New(rand.NewSource(c.Seed))
+	rng := c.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(sim.DeriveSeed(c.Seed, seedQAlgo)))
+	}
 	var sent, delivered int
 	var air float64
 	for inv := 0; inv < c.Inventories; inv++ {

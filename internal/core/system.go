@@ -25,6 +25,7 @@ var ErrBadConfig = errors.New("core: invalid configuration")
 const (
 	seedDeploymentPlacement uint64 = 201
 	seedDeploymentGroup     uint64 = 202
+	seedNodeSelection       uint64 = 203
 )
 
 // Config describes a CBMA deployment run.
@@ -86,7 +87,7 @@ func New(cfg Config) (*System, error) {
 	s := &System{
 		cfg:    cfg,
 		engine: e,
-		rng:    rand.New(rand.NewSource(cfg.Scenario.Seed + 31337)),
+		rng:    rand.New(rand.NewSource(sim.DeriveSeed(cfg.Scenario.Seed, seedNodeSelection))),
 	}
 	if cfg.NodeSelection {
 		// The engine's validated scenario carries the defaulted deployment

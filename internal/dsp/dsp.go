@@ -37,6 +37,8 @@ func Add(a, b []complex128) ([]complex128, error) {
 // AccumulateInto adds src into dst element-wise, in place. dst and src must
 // have equal length. It is the hot path used by the simulation engine when
 // summing per-tag waveforms, so it avoids allocation.
+//
+//cbma:hotpath
 func AccumulateInto(dst, src []complex128) error {
 	if len(dst) != len(src) {
 		return ErrLengthMismatch
@@ -58,6 +60,8 @@ func Scale(x []complex128, g complex128) []complex128 {
 }
 
 // ScaleInto multiplies every sample of x by g in place.
+//
+//cbma:hotpath
 func ScaleInto(x []complex128, g complex128) {
 	for i := range x {
 		x[i] *= g
@@ -95,6 +99,8 @@ func MagSquared(x []complex128) []float64 {
 
 // MagnitudeInto writes |x[i]| into dst, growing it as needed, and returns
 // the filled slice. Receivers reuse one buffer across calls through this.
+//
+//cbma:hotpath
 func MagnitudeInto(dst []float64, x []complex128) []float64 {
 	if cap(dst) < len(x) {
 		dst = make([]float64, len(x))
@@ -109,6 +115,8 @@ func MagnitudeInto(dst []float64, x []complex128) []float64 {
 }
 
 // MagSquaredInto is MagnitudeInto for instantaneous power |x[i]|².
+//
+//cbma:hotpath
 func MagSquaredInto(dst []float64, x []complex128) []float64 {
 	if cap(dst) < len(x) {
 		dst = make([]float64, len(x))

@@ -53,6 +53,8 @@ func planFor(n int) *fftPlan {
 }
 
 // bitReverseInPlace permutes buf into bit-reversed order.
+//
+//cbma:hotpath
 func (p *fftPlan) bitReverseInPlace(buf []complex128) {
 	for i := range buf {
 		j := int(bits.Reverse64(uint64(i)) >> p.shift)
@@ -64,6 +66,8 @@ func (p *fftPlan) bitReverseInPlace(buf []complex128) {
 
 // butterflies runs the radix-2 stages in place; buf must already be in
 // bit-reversed order.
+//
+//cbma:hotpath
 func (p *fftPlan) butterflies(buf []complex128, inverse bool) {
 	n := p.n
 	for size := 2; size <= n; size <<= 1 {
@@ -100,11 +104,14 @@ func (p *fftPlan) butterflies(buf []complex128, inverse bool) {
 
 // forwardInPlace / inverseInPlace transform buf (length p.n) in place. The
 // inverse includes the 1/N scaling.
+//
+//cbma:hotpath
 func (p *fftPlan) forwardInPlace(buf []complex128) {
 	p.bitReverseInPlace(buf)
 	p.butterflies(buf, false)
 }
 
+//cbma:hotpath
 func (p *fftPlan) inverseInPlace(buf []complex128) {
 	p.bitReverseInPlace(buf)
 	p.butterflies(buf, true)

@@ -139,6 +139,8 @@ func (fb *FilterBank) allIDs() []int {
 // hold len(ids) slices of length ≥ count (they are overwritten, and rows[j]
 // beyond count is untouched). The span x[lo : lo+count+m-1] must be in
 // range.
+//
+//cbma:hotpath
 func (fb *FilterBank) CorrelateAll(x []complex128, lo, count int, ids []int, rows [][]complex128) error {
 	if ids == nil {
 		ids = fb.allIDs()
@@ -168,6 +170,8 @@ func (fb *FilterBank) CorrelateAll(x []complex128, lo, count int, ids []int, row
 
 // CorrelateRealAll is CorrelateAll for a real input vector (the receiver's
 // magnitude envelope): rows[j][k] = Σ_i x[lo+k+i] · t_{ids[j]}[i].
+//
+//cbma:hotpath
 func (fb *FilterBank) CorrelateRealAll(x []float64, lo, count int, ids []int, rows [][]float64) error {
 	if ids == nil {
 		ids = fb.allIDs()
@@ -223,6 +227,8 @@ func (fb *FilterBank) checkQuery(n, lo, count, nids, nrows int) error {
 // positive lags in place and its negative lags into the preceding rows'
 // tail, so block boundaries sum exactly to the linear correlation). Exactly
 // one of outR/outC receives the rows, which are fully overwritten.
+//
+//cbma:hotpath
 func (fb *FilterBank) overlapAdd(span []complex128, count int, ids []int, outR [][]float64, outC [][]complex128) {
 	m := fb.m
 	size, _ := fb.blocking(count)

@@ -111,6 +111,8 @@ func FractionalDelay(x []complex128, d float64) []complex128 {
 // have already split off the whole-sample part. The backward iteration
 // reads x[i] and x[i−1] before x[i] is overwritten, so no scratch is
 // needed, and the arithmetic matches FractionalDelay exactly.
+//
+//cbma:hotpath
 func FractionalDelayInPlace(x []complex128, d float64) {
 	if d <= 0 {
 		return

@@ -1,0 +1,68 @@
+package pn_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cbma/internal/pn"
+)
+
+// FuzzGoldBalance drives NewGoldSet with arbitrary (degree, n) pairs and
+// checks the structural invariants of every set that constructs: family
+// size, chip alphabet, the One/Zero complement encoding, the Gold balance
+// bound |Balance| ≤ t(d) = 2^⌊(d+2)/2⌋ + 1, and construction determinism.
+// Unsupported degrees and sizes must fail fast with an error instead of
+// panicking or allocating a huge family.
+func FuzzGoldBalance(f *testing.F) {
+	f.Add(uint(5), 8)
+	f.Add(uint(6), 16)
+	f.Add(uint(7), 3)
+	f.Add(uint(9), 40)
+	f.Add(uint(4), 1)   // degrees divisible by 4 have no preferred pair
+	f.Add(uint(0), 0)   // n <= 0 must error
+	f.Add(uint(7), 500) // larger than the degree-7 family
+	f.Fuzz(func(t *testing.T, degree uint, n int) {
+		set, err := pn.NewGoldSet(degree, n)
+		if err != nil {
+			if set != nil {
+				t.Fatalf("NewGoldSet(%d, %d) returned both a set and %v", degree, n, err)
+			}
+			return
+		}
+		if len(set.Codes) != n {
+			t.Fatalf("NewGoldSet(%d, %d): got %d codes", degree, n, len(set.Codes))
+		}
+		period := (1 << degree) - 1
+		// t(d) bounds both the three-valued cross-correlation and the
+		// balance of the combined family members.
+		bound := (1 << ((degree + 2) / 2)) + 1
+		for _, c := range set.Codes {
+			if len(c.One) != period || len(c.Zero) != period {
+				t.Fatalf("degree %d code %d: lengths %d/%d, want %d",
+					degree, c.ID, len(c.One), len(c.Zero), period)
+			}
+			for i := range c.One {
+				if c.One[i] > 1 || c.Zero[i] > 1 {
+					t.Fatalf("degree %d code %d: non-binary chip at %d", degree, c.ID, i)
+				}
+				if c.One[i] == c.Zero[i] {
+					t.Fatalf("degree %d code %d: Zero is not the complement of One at %d",
+						degree, c.ID, i)
+				}
+			}
+			if b := pn.Balance(c.One); b > bound || b < -bound {
+				t.Fatalf("degree %d code %d: balance %d exceeds t(d)=%d",
+					degree, c.ID, b, bound)
+			}
+		}
+		again, err := pn.NewGoldSet(degree, n)
+		if err != nil {
+			t.Fatalf("second NewGoldSet(%d, %d) failed: %v", degree, n, err)
+		}
+		for i := range set.Codes {
+			if !bytes.Equal(set.Codes[i].One, again.Codes[i].One) {
+				t.Fatalf("degree %d code %d: construction is not deterministic", degree, i)
+			}
+		}
+	})
+}

@@ -37,6 +37,7 @@ type roundBuffers struct {
 	waves    [][]complex128
 	offsets  []int
 	delays   []float64
+	gains    []complex128
 	mix      []complex128
 }
 
@@ -52,11 +53,13 @@ func (rb *roundBuffers) grow(n int) {
 		rb.waves = waves
 		rb.offsets = make([]int, n)
 		rb.delays = make([]float64, n)
+		rb.gains = make([]complex128, n)
 	}
 	rb.payloads = rb.payloads[:n]
 	rb.waves = rb.waves[:n]
 	rb.offsets = rb.offsets[:n]
 	rb.delays = rb.delays[:n]
+	rb.gains = rb.gains[:n]
 }
 
 // mixFor returns a zeroed mixing buffer of length n, reusing capacity.
@@ -132,6 +135,8 @@ func (r roundResult) metrics(numTags int) Metrics {
 // executeRound runs the full stage pipeline for one round using the given
 // RNG streams, scratch and receiver. It does not mutate engine or tag
 // state; callers must follow up with Engine.commitRound.
+//
+//cbma:hotpath
 func (e *Engine) executeRound(active []*tag.Tag, rs *roundStreams, rb *roundBuffers, recv *rx.Receiver) (roundResult, error) {
 	var res roundResult
 	if len(active) == 0 {
@@ -166,6 +171,8 @@ func (e *Engine) executeRound(active []*tag.Tag, rs *roundStreams, rb *roundBuff
 // tag's clock jitter and payload, synthesizes the spread waveform, applies
 // the fractional-sample delay and (when configured) the per-tag CFO phase
 // ramp. All storage comes from rb.
+//
+//cbma:hotpath
 func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *roundBuffers, replay *trace.Round) (transmissionSet, error) {
 	spc := e.scn.SamplesPerChip()
 	rb.grow(len(active))
@@ -259,6 +266,8 @@ func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *rou
 // shared channel effects (excitation gating, multipath, interference,
 // AWGN). It returns the received buffer and, when recording is enabled,
 // the round's trace samples.
+//
+//cbma:hotpath
 func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffers, replay *trace.Round) ([]complex128, []trace.TagSample, error) {
 	spc := e.scn.SamplesPerChip()
 	tail := 2 * e.set.ChipLength() * spc
@@ -271,7 +280,6 @@ func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffe
 		gate = channel.ExcitationGate(rs.rng(StreamExcitation), len(buf), e.scn.SampleRateHz, 2e-3, 1e-3)
 	}
 
-	var recorded []trace.TagSample
 	for i, tg := range tx.active {
 		dg, err := tg.DeltaGamma()
 		if err != nil {
@@ -290,15 +298,7 @@ func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffe
 			link = e.scn.Channel.DrawLink(
 				e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg, rs.rng(StreamFading))
 		}
-		if e.recorder != nil {
-			recorded = append(recorded, trace.TagSample{
-				TagID:      tg.ID(),
-				GainRe:     real(link.Gain),
-				GainIm:     imag(link.Gain),
-				DelayChips: tx.delays[i] / float64(spc),
-				Impedance:  int(tg.Impedance()),
-			})
-		}
+		rb.gains[i] = link.Gain
 		base := e.leadSamples + tx.offsets[i]
 		for k, v := range tx.waves[i] {
 			s := v * link.Gain
@@ -316,7 +316,30 @@ func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffe
 		intf.Apply(rs.rng(StreamInterference), buf, e.scn.SampleRateHz)
 	}
 	channel.AWGN(rs.rng(StreamNoise), buf, e.scn.Channel.NoiseFloorW())
+	var recorded []trace.TagSample
+	if e.recorder != nil {
+		recorded = traceSamples(tx, rb.gains, spc)
+	}
 	return buf, recorded, nil
+}
+
+// traceSamples snapshots the round's per-tag channel draws for the
+// recorder, off the hot path (it runs only when recording is on). It
+// allocates a fresh slice per round deliberately: parallel execution
+// buffers whole roundResults until the in-order commit, so recorded
+// samples must not alias reusable worker scratch.
+func traceSamples(tx transmissionSet, gains []complex128, spc int) []trace.TagSample {
+	samples := make([]trace.TagSample, len(tx.active))
+	for i, tg := range tx.active {
+		samples[i] = trace.TagSample{
+			TagID:      tg.ID(),
+			GainRe:     real(gains[i]),
+			GainIm:     imag(gains[i]),
+			DelayChips: tx.delays[i] / float64(spc),
+			Impedance:  int(tg.Impedance()),
+		}
+	}
+	return samples
 }
 
 // decodeAndAck is the receive stage: it runs the receiver over the mixed

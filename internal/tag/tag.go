@@ -134,6 +134,8 @@ func (t *Tag) Waveform(payload []byte) ([]complex128, error) {
 // WaveformInto is Waveform writing into dst (grown as needed) so the
 // simulation loop can reuse one sample buffer per tag slot across rounds;
 // it returns the filled slice.
+//
+//cbma:hotpath
 func (t *Tag) WaveformInto(dst []complex128, payload []byte) ([]complex128, error) {
 	chips, err := t.EncodeFrame(payload)
 	if err != nil {
