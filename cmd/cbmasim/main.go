@@ -4,46 +4,139 @@
 //	cbmasim -tags 5 -family 2nc -distance 2 -packets 300
 //	cbmasim -tags 4 -power-control -random-impedance
 //	cbmasim -tags 3 -interference wifi
+//	cbmasim -tags 3 -fault "ack-loss=0.2,outage=0.05,panic=0.01"
+//	cbmasim -tags 3 -power-control -random-impedance -fault-sweep ack-loss
+//
+// SIGINT (Ctrl-C) cancels the run cooperatively: the metrics collected up
+// to the interruption are flushed (marked "interrupted") before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 
 	"cbma"
 	"cbma/internal/pn"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cbmasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// parseFaultProfile builds a fault profile from a comma-separated k=v spec,
+// e.g. "ack-loss=0.2,stuck=0.1,retries=3". Unknown keys are an error so
+// typos fail loudly instead of silently injecting nothing.
+func parseFaultProfile(spec string) (*cbma.FaultProfile, error) {
+	var p cbma.FaultProfile
+	floats := map[string]*float64{
+		"stuck":        &p.StuckImpedanceProb,
+		"drift-chips":  &p.ClockDriftChips,
+		"jitter-chips": &p.ExtraJitterChips,
+		"outage":       &p.EnergyOutageProb,
+		"ack-loss":     &p.AckLossProb,
+		"ack-corrupt":  &p.AckCorruptProb,
+		"spurious-ack": &p.SpuriousAckProb,
+		"burst":        &p.BurstProb,
+		"burst-dbm":    &p.BurstPowerDBm,
+		"burst-sec":    &p.BurstMeanSec,
+		"fade":         &p.DeepFadeProb,
+		"fade-db":      &p.DeepFadeDB,
+		"panic":        &p.PanicProb,
+		"transient":    &p.TransientErrProb,
+	}
+	ints := map[string]*int{
+		"feedback-retries": &p.FeedbackRetries,
+		"fallback-state":   &p.FallbackImpedance,
+		"retries":          &p.MaxRoundRetries,
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if dst, found := floats[key]; found {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: %s: %v", key, err)
+			}
+			*dst = f
+			continue
+		}
+		if dst, found := ints[key]; found {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: %s: %v", key, err)
+			}
+			*dst = n
+			continue
+		}
+		return nil, fmt.Errorf("fault: unknown key %q", key)
+	}
+	return &p, nil
+}
+
+// parseRates parses the comma-separated -sweep-rates list.
+func parseRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(spec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sweep-rates: %v", err)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("sweep-rates: no rates given")
+	}
+	return out, nil
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("cbmasim", flag.ContinueOnError)
 	var (
-		tags     = fs.Int("tags", 2, "concurrent tags")
-		family   = fs.String("family", "gold", "code family: gold, 2nc, walsh, kasami")
-		distance = fs.Float64("distance", 1.0, "tag-to-receiver distance (m)")
-		packets  = fs.Int("packets", 200, "collision rounds")
-		payload  = fs.Int("payload", 16, "payload bytes per frame")
-		bitrate  = fs.Float64("bitrate", 1e6, "on-air bit rate (bps)")
-		txPower  = fs.Float64("tx-power", 20, "excitation power (dBm)")
-		preamble = fs.Int("preamble", 8, "preamble length (bits)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		pc       = fs.Bool("power-control", false, "enable the Algorithm 1 loop")
-		randImp  = fs.Bool("random-impedance", false, "boot tags in random impedance states")
-		nodeSel  = fs.Bool("node-selection", false, "enable §V-C node selection")
-		sic      = fs.Bool("sic", false, "enable successive interference cancellation")
-		interf   = fs.String("interference", "", "interference: '', wifi, bluetooth, ofdm")
-		perTag   = fs.Bool("per-tag", false, "print per-tag delivery ratios")
-		record   = fs.String("record", "", "write a channel trace to this file (§VIII-C emulation)")
-		replay   = fs.String("replay", "", "replay a channel trace from this file instead of live draws")
-		cfo      = fs.Float64("cfo-ppm", 0, "per-tag carrier frequency offset (± ppm)")
-		tracking = fs.Bool("phase-tracking", false, "enable decision-directed phase tracking")
+		tags       = fs.Int("tags", 2, "concurrent tags")
+		family     = fs.String("family", "gold", "code family: gold, 2nc, walsh, kasami")
+		distance   = fs.Float64("distance", 1.0, "tag-to-receiver distance (m)")
+		packets    = fs.Int("packets", 200, "collision rounds")
+		payload    = fs.Int("payload", 16, "payload bytes per frame")
+		bitrate    = fs.Float64("bitrate", 1e6, "on-air bit rate (bps)")
+		txPower    = fs.Float64("tx-power", 20, "excitation power (dBm)")
+		preamble   = fs.Int("preamble", 8, "preamble length (bits)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		pc         = fs.Bool("power-control", false, "enable the Algorithm 1 loop")
+		randImp    = fs.Bool("random-impedance", false, "boot tags in random impedance states")
+		nodeSel    = fs.Bool("node-selection", false, "enable §V-C node selection")
+		sic        = fs.Bool("sic", false, "enable successive interference cancellation")
+		interf     = fs.String("interference", "", "interference: '', wifi, bluetooth, ofdm")
+		perTag     = fs.Bool("per-tag", false, "print per-tag delivery ratios")
+		record     = fs.String("record", "", "write a channel trace to this file (§VIII-C emulation)")
+		replay     = fs.String("replay", "", "replay a channel trace from this file instead of live draws")
+		cfo        = fs.Float64("cfo-ppm", 0, "per-tag carrier frequency offset (± ppm)")
+		tracking   = fs.Bool("phase-tracking", false, "enable decision-directed phase tracking")
+		faultSpec  = fs.String("fault", "", "fault profile as k=v pairs: stuck, drift-chips, jitter-chips, outage, ack-loss, ack-corrupt, spurious-ack, feedback-retries, fallback-state, burst, burst-dbm, burst-sec, fade, fade-db, panic, transient, retries")
+		faultSweep = fs.String("fault-sweep", "", "sweep a fault knob over -sweep-rates: ack-loss or outage")
+		sweepRates = fs.String("sweep-rates", "0,0.1,0.2,0.3,0.4,0.5", "comma-separated rates for -fault-sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +173,21 @@ func run(args []string) error {
 
 	scn.CFOppm = *cfo
 	scn.PhaseTracking = *tracking
+	if *faultSpec != "" {
+		prof, err := parseFaultProfile(*faultSpec)
+		if err != nil {
+			return err
+		}
+		scn.Fault = prof
+	}
+
+	if *faultSweep != "" {
+		rates, err := parseRates(*sweepRates)
+		if err != nil {
+			return err
+		}
+		return runFaultSweep(ctx, scn, *faultSweep, rates)
+	}
 
 	sys, err := cbma.NewSystem(cbma.SystemConfig{Scenario: scn, NodeSelection: *nodeSel})
 	if err != nil {
@@ -102,8 +210,9 @@ func run(args []string) error {
 		}
 		sys.Engine().ReplayFrom(cbma.NewTracePlayer(tr))
 	}
-	rep, err := sys.Run()
-	if err != nil {
+	rep, err := sys.RunContext(ctx)
+	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
+	if err != nil && !interrupted {
 		return err
 	}
 	if recorder != nil {
@@ -130,14 +239,67 @@ func run(args []string) error {
 	if *pc {
 		fmt.Printf("  power-control rounds   %d (converged %v)\n",
 			m.PowerControlRounds, m.PowerControlConverged)
+		if m.PowerControlRetries > 0 || m.PowerControlFellBack {
+			fmt.Printf("  feedback retries       %d (fell back %v)\n",
+				m.PowerControlRetries, m.PowerControlFellBack)
+		}
 	}
 	if *nodeSel {
 		fmt.Printf("  tags re-placed         %d\n", rep.Replacements)
+	}
+	if scn.Fault != nil {
+		fmt.Printf("  rounds planned/done    %d / %d (quarantined %d, retries %d)\n",
+			m.RoundsPlanned, m.RoundsExecuted, m.RoundsQuarantined, m.RoundRetries)
+		fmt.Printf("  faults fired           %s\n", m.Faults)
 	}
 	if *perTag {
 		for id := 0; id < *tags; id++ {
 			fmt.Printf("  tag %2d delivery ratio  %.3f\n", id, m.TagDeliveryRatio(id))
 		}
+	}
+	if interrupted {
+		fmt.Println("  interrupted — metrics above cover the rounds committed before SIGINT")
+		return err
+	}
+	return nil
+}
+
+// runFaultSweep runs the BER-vs-fault-rate curve for one knob and prints it
+// as a table. An interrupt flushes the points finished so far.
+func runFaultSweep(ctx context.Context, base cbma.Scenario, knob string, rates []float64) error {
+	var (
+		series cbma.Series
+		err    error
+	)
+	switch knob {
+	case "ack-loss":
+		series, err = cbma.FaultSweepAckLoss(ctx, base, rates)
+	case "outage":
+		series, err = cbma.FaultSweepEnergyOutage(ctx, base, rates)
+	default:
+		return fmt.Errorf("unknown fault-sweep knob %q (want ack-loss or outage)", knob)
+	}
+	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
+	if err != nil && !interrupted {
+		return err
+	}
+	fmt.Printf("fault sweep: %s (tags=%d packets=%d)\n", series.Name, base.NumTags, base.Packets)
+	fmt.Printf("  %-8s %-8s %-14s %s\n", "rate", "FER", "sent/delivered", "degradation")
+	for _, pt := range series.Points {
+		m := pt.Metrics
+		degr := "-"
+		switch {
+		case m.RoundsQuarantined > 0 || m.RoundRetries > 0:
+			degr = fmt.Sprintf("quarantined=%d retries=%d %s", m.RoundsQuarantined, m.RoundRetries, m.Faults)
+		case m.Faults.Any():
+			degr = m.Faults.String()
+		}
+		fmt.Printf("  %-8.3f %-8.4f %-14s %s\n",
+			pt.X, m.FER, fmt.Sprintf("%d/%d", m.FramesSent, m.FramesDelivered), degr)
+	}
+	if interrupted {
+		fmt.Println("  interrupted — points above cover the sweep finished before SIGINT")
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	cbma "cbma"
+)
+
+func TestParseFaultProfile(t *testing.T) {
+	p, err := parseFaultProfile("stuck=0.1, ack-loss=0.25,feedback-retries=3, fallback-state=2,panic=0.05,retries=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &cbma.FaultProfile{
+		StuckImpedanceProb: 0.1,
+		AckLossProb:        0.25,
+		FeedbackRetries:    3,
+		FallbackImpedance:  2,
+		PanicProb:          0.05,
+		MaxRoundRetries:    4,
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+}
+
+func TestParseFaultProfileEmptyElements(t *testing.T) {
+	p, err := parseFaultProfile("outage=0.5,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EnergyOutageProb != 0.5 {
+		t.Errorf("outage = %v, want 0.5", p.EnergyOutageProb)
+	}
+}
+
+func TestParseFaultProfileErrors(t *testing.T) {
+	cases := map[string]string{
+		"bogus-knob=1":   "unknown key",
+		"ack-loss":       "not key=value",
+		"ack-loss=high":  "ack-loss",
+		"retries=weekly": "retries",
+	}
+	for spec, frag := range cases {
+		if _, err := parseFaultProfile(spec); err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("parseFaultProfile(%q) = %v, want error containing %q", spec, err, frag)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates(" 0, 0.1 ,0.5,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{0, 0.1, 0.5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseRates = %v, want %v", got, want)
+	}
+	if _, err := parseRates(",,"); err == nil {
+		t.Error("empty rate list must error")
+	}
+	if _, err := parseRates("0.1,zap"); err == nil {
+		t.Error("malformed rate must error")
+	}
+}

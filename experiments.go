@@ -1,8 +1,25 @@
 package cbma
 
 import (
+	"context"
+
 	"cbma/internal/core"
+	"cbma/internal/fault"
 	"cbma/internal/sim"
+)
+
+// Fault-injection configuration and accounting (see internal/fault and the
+// DESIGN.md "Fault model & resilience semantics" section).
+type (
+	// FaultProfile declares per-layer fault intensities; assign a pointer to
+	// Scenario.Fault to arm the injection layer.
+	FaultProfile = fault.Profile
+	// FaultCounters is the degradation ledger of a run (Metrics.Faults).
+	FaultCounters = fault.Counters
+	// PointError and CampaignError carry per-point campaign failures
+	// alongside the surviving points' metrics.
+	PointError    = sim.PointError
+	CampaignError = sim.CampaignError
 )
 
 // UserDetectionResult summarizes the §VII-B2 user-detection experiment.
@@ -29,6 +46,15 @@ type CampaignOpts = sim.CampaignOpts
 // reproducibility contract).
 func RunCampaign(points []Scenario, opts CampaignOpts) ([]Metrics, error) {
 	return sim.RunCampaign(points, opts)
+}
+
+// RunCampaignContext is RunCampaign with cooperative cancellation and
+// resilient point execution: every point runs regardless of other points'
+// failures, failed points report through a *CampaignError while healthy
+// points keep their metrics, and cancellation returns the partial results
+// collected so far (see sim.RunCampaignContext).
+func RunCampaignContext(ctx context.Context, points []Scenario, opts CampaignOpts) ([]Metrics, error) {
+	return sim.RunCampaignContext(ctx, points, opts)
 }
 
 // DeriveSeed deterministically derives a child scenario seed from a base
@@ -98,4 +124,24 @@ func PowerDifferenceTable(base Scenario, pairs int) ([]PowerDiffRow, error) {
 // plotting.
 func DeploymentStudy(base Scenario, groups int) (none, pc, pcns []float64, err error) {
 	return core.DeploymentStudy(base, groups)
+}
+
+// FaultSweep measures error rate versus fault intensity: mod sets one knob
+// of the fault profile per rate, and every point runs under the same
+// derived seed (common random numbers) so the degradation curve is smooth
+// and monotone at modest packet counts.
+func FaultSweep(ctx context.Context, base Scenario, name string, rates []float64, mod func(*FaultProfile, float64)) (Series, error) {
+	return sim.FaultSweep(ctx, base, name, rates, mod)
+}
+
+// FaultSweepAckLoss sweeps the feedback ACK-loss probability — error rate
+// versus downlink loss rate through the Algorithm 1 feedback loop.
+func FaultSweepAckLoss(ctx context.Context, base Scenario, rates []float64) (Series, error) {
+	return sim.FaultSweepAckLoss(ctx, base, rates)
+}
+
+// FaultSweepEnergyOutage sweeps the per-tag mid-frame energy-outage
+// probability.
+func FaultSweepEnergyOutage(ctx context.Context, base Scenario, rates []float64) (Series, error) {
+	return sim.FaultSweepEnergyOutage(ctx, base, rates)
 }

@@ -31,6 +31,7 @@ var Analyzer = &framework.Analyzer{
 // (the analyzer's own test fixtures) are always in scope.
 var scope = []string{
 	"cbma/internal/sim",
+	"cbma/internal/fault",
 	"cbma/internal/rx",
 	"cbma/internal/channel",
 	"cbma/internal/mac",

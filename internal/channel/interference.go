@@ -136,6 +136,46 @@ func (b *BluetoothInterferer) Apply(rng *rand.Rand, samples []complex128, sample
 	}
 }
 
+// BurstInterferer models an impulsive in-band jammer: a single high-power
+// wideband burst that lands at a uniformly random position inside the
+// observation window and lasts an exponentially distributed duration. Unlike
+// WiFiInterferer's steady duty-cycled traffic, a burst episode is the fault
+// model of §VII-C3's worst case — a co-located radio keying up mid-frame —
+// and is what the fault-injection layer (internal/fault) uses for its
+// channel-layer burst episodes. Whether a given round suffers a burst at all
+// is the caller's draw; Apply always injects exactly one burst.
+type BurstInterferer struct {
+	// PowerDBm is the burst power at the receiver while it is on the air.
+	PowerDBm float64
+	// MeanBurstSec is the mean burst duration (default 200 µs).
+	MeanBurstSec float64
+}
+
+var _ Interferer = (*BurstInterferer)(nil)
+
+// Apply implements Interferer: one wideband Gaussian burst at a random
+// offset. Draws happen in a fixed order (start, then duration) so the
+// consumed stream length is deterministic.
+func (b *BurstInterferer) Apply(rng *rand.Rand, samples []complex128, sampleRateHz float64) {
+	if len(samples) == 0 {
+		return
+	}
+	meanBurst := b.MeanBurstSec
+	if meanBurst <= 0 {
+		meanBurst = 200e-6
+	}
+	start := int(rng.Float64() * float64(len(samples)))
+	dur := int(drawExp(rng, meanBurst*sampleRateHz))
+	end := start + dur
+	if end > len(samples) {
+		end = len(samples)
+	}
+	sigma := math.Sqrt(dsp.FromDBm(b.PowerDBm) / 2)
+	for i := start; i < end; i++ {
+		samples[i] += complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+	}
+}
+
 // drawExp draws an exponential variate with the given mean, floored at one
 // sample so pathological parameters cannot stall the loop.
 func drawExp(rng *rand.Rand, mean float64) float64 {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -112,9 +113,20 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // then — when node selection is enabled — repeatedly replace
 // under-performing tags and re-measure.
 func (s *System) Run() (Report, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation. When ctx fires, the
+// report built so far is returned together with the context's error: the
+// measurement in flight contributes its partial, Interrupted metrics (see
+// sim.Engine.RunContext), and no further selection rounds start.
+func (s *System) RunContext(ctx context.Context) (Report, error) {
 	var rep Report
-	m, err := s.engine.Run()
+	m, err := s.engine.RunContext(ctx)
 	if err != nil {
+		rep.Initial = m
+		rep.Final = m
+		rep.FinalPositions = s.positions()
 		return rep, err
 	}
 	rep.Initial = m
@@ -124,6 +136,10 @@ func (s *System) Run() (Report, error) {
 		return rep, nil
 	}
 	for round := 0; round < s.cfg.SelectionRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			rep.FinalPositions = s.positions()
+			return rep, err
+		}
 		moved, err := s.selectOnce(rep.Final)
 		if err != nil {
 			return rep, err
@@ -133,8 +149,9 @@ func (s *System) Run() (Report, error) {
 		}
 		rep.Replacements += moved
 		rep.SelectionRounds++
-		m, err := s.engine.RunWithPositions(s.positions())
+		m, err := s.engine.RunWithPositionsContext(ctx, s.positions())
 		if err != nil {
+			rep.FinalPositions = s.positions()
 			return rep, err
 		}
 		rep.Final = m

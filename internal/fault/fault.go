@@ -1,0 +1,397 @@
+// Package fault is the deterministic fault-injection layer of the CBMA
+// simulator. It models the failure modes Algorithm 1 and node selection
+// exist to survive — sloppy tag clocks, stuck SPDT switches, lost ACKs,
+// bursty interferers — plus the execution-layer failures (panics, transient
+// round errors) a production campaign runner must quarantine rather than die
+// from.
+//
+// Determinism contract: an Injector holds no RNG of its own. Static,
+// population-level draws (which tags are stuck, each tag's constant clock
+// drift) happen once at construction from the caller-supplied setup
+// generator; every per-round decision method takes the caller's *rand.Rand —
+// in the engine, a dedicated per-round fault stream from rngstream.go — and
+// consumes a number of draws that depends only on the Profile, never on
+// simulation outcomes observed by other streams. Fault schedules are
+// therefore bit-identical across worker counts, like every other draw of
+// the staged round pipeline.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cbma/internal/channel"
+)
+
+// Errors of the execution fault layer.
+var (
+	// ErrInjectedPanic is the value an injected round panic carries; the
+	// engine's recovery path distinguishes it from organic panics when
+	// counting degradation.
+	ErrInjectedPanic = errors.New("fault: injected round panic")
+	// ErrTransient marks an injected transient round failure — the class of
+	// error the engine retries (with capped backoff) before quarantining.
+	ErrTransient = errors.New("fault: injected transient round failure")
+)
+
+// IsTransient reports whether err is a retryable transient failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Profile declares the fault intensity at each layer. The zero value injects
+// nothing; probabilities are clamped to [0, 1] by WithDefaults. A Profile is
+// immutable configuration — scenarios share pointers to it, so mutate copies,
+// never a profile already handed to an engine.
+type Profile struct {
+	// Tag layer — hardware imperfections of the passive tags.
+
+	// StuckImpedanceProb is the per-tag probability (drawn once at engine
+	// construction) that the tag's impedance switch is stuck: it powers up
+	// in its initial state and ignores every SetImpedance/StepImpedance for
+	// the rest of the run, starving Algorithm 1's actuation path.
+	StuckImpedanceProb float64
+	// ClockDriftChips gives each tag a constant per-tag clock offset drawn
+	// uniformly in ±ClockDriftChips/2 (once, at construction) — the cheap
+	// oscillator bias on top of Scenario.JitterChips' per-frame jitter.
+	ClockDriftChips float64
+	// ExtraJitterChips adds uniform per-frame jitter of ±ExtraJitterChips/2
+	// on top of the scenario's, modelling degraded clock recovery.
+	ExtraJitterChips float64
+	// EnergyOutageProb is the per-tag per-round probability that the tag's
+	// harvested energy runs out mid-frame: the waveform goes silent after a
+	// uniformly drawn fraction of the frame.
+	EnergyOutageProb float64
+
+	// Feedback layer — the ACK downlink feeding mac.PowerController.
+
+	// AckLossProb drops each ACK delivery with this probability (on top of
+	// Scenario.AckLossProb; this one is counted in Counters.AcksLost).
+	AckLossProb float64
+	// AckCorruptProb corrupts each surviving ACK so the tag fails to
+	// recognize its ID — same starvation as a loss, counted separately.
+	AckCorruptProb float64
+	// SpuriousAckProb makes each un-ACKed tag falsely hear an ACK with this
+	// probability, poisoning the feedback loop in the optimistic direction.
+	SpuriousAckProb float64
+	// FeedbackRetries bounds the PowerController's re-measurement attempts
+	// when a whole batch comes back with zero ACKs (total feedback blackout)
+	// before it falls back to a conservative impedance state. Zero disables
+	// the timeout path entirely (legacy behaviour: silence reads as
+	// universal frame loss).
+	FeedbackRetries int
+	// FallbackImpedance is the impedance state tags are parked at when
+	// feedback retries exhaust. Zero selects each tag's strongest state.
+	FallbackImpedance int
+
+	// Channel layer — episodic propagation faults.
+
+	// BurstProb is the per-round probability of one high-power wideband
+	// interference burst (channel.BurstInterferer) landing in the round.
+	BurstProb float64
+	// BurstPowerDBm is the burst power at the receiver (default −60 dBm,
+	// comfortably above the thermal floor at the paper's bandwidth).
+	BurstPowerDBm float64
+	// BurstMeanSec is the mean burst duration (default 200 µs).
+	BurstMeanSec float64
+	// DeepFadeProb is the per-tag per-round probability of a deep-fade
+	// episode attenuating that tag's link by DeepFadeDB.
+	DeepFadeProb float64
+	// DeepFadeDB is the fade depth in dB (default 20).
+	DeepFadeDB float64
+
+	// Execution layer — failures of the campaign runner itself.
+
+	// PanicProb is the per-round probability that executing the round
+	// panics; the engine recovers and quarantines the round.
+	PanicProb float64
+	// TransientErrProb is the per-round probability that the round fails
+	// with a retryable transient error on its first attempt(s).
+	TransientErrProb float64
+	// MaxRoundRetries caps how often a transiently failing round is retried
+	// before quarantine. Zero selects 2.
+	MaxRoundRetries int
+}
+
+// WithDefaults returns p with probabilities clamped to [0, 1] and the
+// magnitude defaults filled in.
+func (p Profile) WithDefaults() Profile {
+	clamp := func(v *float64) {
+		if *v < 0 {
+			*v = 0
+		}
+		if *v > 1 {
+			*v = 1
+		}
+	}
+	clamp(&p.StuckImpedanceProb)
+	clamp(&p.EnergyOutageProb)
+	clamp(&p.AckLossProb)
+	clamp(&p.AckCorruptProb)
+	clamp(&p.SpuriousAckProb)
+	clamp(&p.BurstProb)
+	clamp(&p.DeepFadeProb)
+	clamp(&p.PanicProb)
+	clamp(&p.TransientErrProb)
+	if p.ClockDriftChips < 0 {
+		p.ClockDriftChips = 0
+	}
+	if p.ExtraJitterChips < 0 {
+		p.ExtraJitterChips = 0
+	}
+	if p.FeedbackRetries < 0 {
+		p.FeedbackRetries = 0
+	}
+	if p.FallbackImpedance < 0 {
+		p.FallbackImpedance = 0
+	}
+	if p.BurstPowerDBm == 0 {
+		p.BurstPowerDBm = -60
+	}
+	if p.BurstMeanSec <= 0 {
+		p.BurstMeanSec = 200e-6
+	}
+	if p.DeepFadeDB <= 0 {
+		p.DeepFadeDB = 20
+	}
+	if p.MaxRoundRetries <= 0 {
+		p.MaxRoundRetries = 2
+	}
+	return p
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	return p.StuckImpedanceProb > 0 || p.ClockDriftChips > 0 ||
+		p.ExtraJitterChips > 0 || p.EnergyOutageProb > 0 ||
+		p.AckLossProb > 0 || p.AckCorruptProb > 0 || p.SpuriousAckProb > 0 ||
+		p.FeedbackRetries > 0 ||
+		p.BurstProb > 0 || p.DeepFadeProb > 0 ||
+		p.PanicProb > 0 || p.TransientErrProb > 0
+}
+
+// Counters is the degradation ledger of a run: how often each fault fired.
+// All fields are integral, so Counters merges associatively like the rest of
+// sim.Metrics.
+type Counters struct {
+	// StuckTags is the number of tags whose switch is stuck (a population
+	// property, counted once per run, not per round).
+	StuckTags int
+	// EnergyOutages counts mid-frame energy losses across tags and rounds.
+	EnergyOutages int
+	// DeepFades counts per-tag deep-fade episodes; Bursts counts rounds hit
+	// by an interference burst.
+	DeepFades int
+	Bursts    int
+	// AcksLost, AcksCorrupted and SpuriousAcks count feedback-layer events.
+	AcksLost      int
+	AcksCorrupted int
+	SpuriousAcks  int
+	// InjectedPanics and TransientErrors count execution-layer injections
+	// that actually fired (a quarantined round contributes its panic here).
+	InjectedPanics  int
+	TransientErrors int
+}
+
+// Merge adds o into c.
+func (c *Counters) Merge(o Counters) {
+	c.StuckTags += o.StuckTags
+	c.EnergyOutages += o.EnergyOutages
+	c.DeepFades += o.DeepFades
+	c.Bursts += o.Bursts
+	c.AcksLost += o.AcksLost
+	c.AcksCorrupted += o.AcksCorrupted
+	c.SpuriousAcks += o.SpuriousAcks
+	c.InjectedPanics += o.InjectedPanics
+	c.TransientErrors += o.TransientErrors
+}
+
+// Any reports whether any fault fired.
+func (c Counters) Any() bool { return c != Counters{} }
+
+// String renders the non-zero counters.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"stuck=%d outages=%d fades=%d bursts=%d acksLost=%d acksCorrupt=%d spurious=%d panics=%d transients=%d",
+		c.StuckTags, c.EnergyOutages, c.DeepFades, c.Bursts,
+		c.AcksLost, c.AcksCorrupted, c.SpuriousAcks,
+		c.InjectedPanics, c.TransientErrors)
+}
+
+// AckFate is the feedback layer's verdict on one delivered frame's ACK.
+type AckFate int
+
+// Ack fates, in draw order.
+const (
+	// AckDelivered: the tag heard its ACK.
+	AckDelivered AckFate = iota
+	// AckLost: the downlink dropped the ACK.
+	AckLost
+	// AckCorrupted: the ACK arrived garbled; the tag cannot recognize it.
+	AckCorrupted
+)
+
+// ExecPlan is one round's execution-fault schedule, drawn once before the
+// attempt loop so retries of the same round cannot re-roll their fate (which
+// would make the retry count outcome-dependent and non-reproducible).
+type ExecPlan struct {
+	// FailAttempts is how many initial attempts fail with ErrTransient.
+	FailAttempts int
+	// Panic makes the first attempt that clears the transient gate panic.
+	Panic bool
+}
+
+// Injector evaluates a Profile against a tag population. It is stateless per
+// round (all per-round draws come from caller-supplied generators), so a
+// single Injector is shared by all of an engine's round workers.
+type Injector struct {
+	p      Profile
+	stuck  []bool
+	drift  []float64
+	burst  channel.BurstInterferer
+	nStuck int
+}
+
+// NewInjector draws the static (population-level) fault assignments from
+// setupRng and returns the injector. setupRng draws happen in a fixed order —
+// per tag: stuck, then drift — so the consumed stream length depends only on
+// the profile and tag count.
+func NewInjector(p Profile, numTags int, setupRng *rand.Rand) *Injector {
+	p = p.WithDefaults()
+	in := &Injector{
+		p:     p,
+		stuck: make([]bool, numTags),
+		drift: make([]float64, numTags),
+		burst: channel.BurstInterferer{PowerDBm: p.BurstPowerDBm, MeanBurstSec: p.BurstMeanSec},
+	}
+	for i := 0; i < numTags; i++ {
+		if p.StuckImpedanceProb > 0 && setupRng.Float64() < p.StuckImpedanceProb {
+			in.stuck[i] = true
+			in.nStuck++
+		}
+		if p.ClockDriftChips > 0 {
+			in.drift[i] = p.ClockDriftChips * (setupRng.Float64() - 0.5)
+		}
+	}
+	return in
+}
+
+// Profile returns the injector's normalized profile.
+func (in *Injector) Profile() Profile { return in.p }
+
+// Stuck reports whether tag id's impedance switch is stuck.
+func (in *Injector) Stuck(id int) bool {
+	return id >= 0 && id < len(in.stuck) && in.stuck[id]
+}
+
+// StuckCount is the number of stuck tags in the population.
+func (in *Injector) StuckCount() int { return in.nStuck }
+
+// DriftChips returns tag id's constant clock drift in chips.
+func (in *Injector) DriftChips(id int) float64 {
+	if id < 0 || id >= len(in.drift) {
+		return 0
+	}
+	return in.drift[id]
+}
+
+// TagRoundFaults reports whether buildTransmissions needs per-round tag
+// draws (jitter or outage); drift alone needs none.
+func (in *Injector) TagRoundFaults() bool {
+	return in.p.ExtraJitterChips > 0 || in.p.EnergyOutageProb > 0
+}
+
+// ExtraJitter draws one tag's extra per-frame jitter in chips.
+func (in *Injector) ExtraJitter(rng *rand.Rand) float64 {
+	if in.p.ExtraJitterChips <= 0 {
+		return 0
+	}
+	return in.p.ExtraJitterChips * (rng.Float64() - 0.5)
+}
+
+// EnergyOutage draws one tag's mid-frame energy fate: when it fires, the
+// returned fraction (uniform in [0.25, 0.95)) is how much of the frame the
+// tag manages to transmit before going silent.
+func (in *Injector) EnergyOutage(rng *rand.Rand) (float64, bool) {
+	if in.p.EnergyOutageProb <= 0 || rng.Float64() >= in.p.EnergyOutageProb {
+		return 0, false
+	}
+	return 0.25 + 0.7*rng.Float64(), true
+}
+
+// ChannelRoundFaults reports whether mixChannel needs the per-round channel
+// fault stream.
+func (in *Injector) ChannelRoundFaults() bool {
+	return in.p.DeepFadeProb > 0 || in.p.BurstProb > 0
+}
+
+// DeepFade draws one tag's fade episode: when it fires, the returned scale
+// is the amplitude attenuation of a DeepFadeDB power fade.
+func (in *Injector) DeepFade(rng *rand.Rand) (float64, bool) {
+	if in.p.DeepFadeProb <= 0 || rng.Float64() >= in.p.DeepFadeProb {
+		return 1, false
+	}
+	return math.Pow(10, -in.p.DeepFadeDB/20), true
+}
+
+// Burst draws whether this round suffers an interference burst.
+func (in *Injector) Burst(rng *rand.Rand) bool {
+	return in.p.BurstProb > 0 && rng.Float64() < in.p.BurstProb
+}
+
+// ApplyBurst injects the burst waveform into the round's receive buffer.
+func (in *Injector) ApplyBurst(rng *rand.Rand, samples []complex128, sampleRateHz float64) {
+	in.burst.Apply(rng, samples, sampleRateHz)
+}
+
+// AckFaults reports whether the feedback layer draws per-ACK fates.
+func (in *Injector) AckFaults() bool {
+	return in.p.AckLossProb > 0 || in.p.AckCorruptProb > 0
+}
+
+// AckFate draws one delivered frame's ACK outcome: one uniform draw split
+// into loss, corruption and delivery regions so the consumed stream length
+// is one per delivered frame regardless of outcome.
+func (in *Injector) AckFate(rng *rand.Rand) AckFate {
+	u := rng.Float64()
+	if u < in.p.AckLossProb {
+		return AckLost
+	}
+	if u < in.p.AckLossProb+in.p.AckCorruptProb {
+		return AckCorrupted
+	}
+	return AckDelivered
+}
+
+// SpuriousAcks reports whether un-ACKed tags draw spurious-ACK fates.
+func (in *Injector) SpuriousAcks() bool { return in.p.SpuriousAckProb > 0 }
+
+// SpuriousAck draws whether one un-ACKed tag falsely hears an ACK.
+func (in *Injector) SpuriousAck(rng *rand.Rand) bool {
+	return rng.Float64() < in.p.SpuriousAckProb
+}
+
+// ExecFaults reports whether rounds draw an execution plan at all.
+func (in *Injector) ExecFaults() bool {
+	return in.p.PanicProb > 0 || in.p.TransientErrProb > 0
+}
+
+// ExecPlan draws one round's execution-fault schedule. Draw order is fixed
+// (panic, then transient) and each draw happens iff its probability is
+// non-zero, so the stream consumption depends only on the profile.
+func (in *Injector) ExecPlan(rng *rand.Rand) ExecPlan {
+	var pl ExecPlan
+	if in.p.PanicProb > 0 && rng.Float64() < in.p.PanicProb {
+		pl.Panic = true
+	}
+	if in.p.TransientErrProb > 0 && rng.Float64() < in.p.TransientErrProb {
+		// How many attempts fail is part of the schedule: uniform over
+		// [1, MaxRoundRetries+1], so some transient episodes recover within
+		// the retry budget and some exhaust it.
+		pl.FailAttempts = 1 + rng.Intn(in.p.MaxRoundRetries+1)
+	}
+	return pl
+}
+
+// MaxRoundRetries is the retry cap of the (normalized) profile.
+func (in *Injector) MaxRoundRetries() int { return in.p.MaxRoundRetries }

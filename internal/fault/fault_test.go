@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWithDefaultsClampsAndFills(t *testing.T) {
+	p := Profile{
+		StuckImpedanceProb: -0.5,
+		EnergyOutageProb:   1.5,
+		AckLossProb:        2,
+		AckCorruptProb:     -1,
+		ClockDriftChips:    -3,
+		ExtraJitterChips:   -1,
+		FeedbackRetries:    -2,
+		FallbackImpedance:  -4,
+	}.WithDefaults()
+	if p.StuckImpedanceProb != 0 || p.AckCorruptProb != 0 {
+		t.Errorf("negative probabilities not clamped to 0: %+v", p)
+	}
+	if p.EnergyOutageProb != 1 || p.AckLossProb != 1 {
+		t.Errorf("overshooting probabilities not clamped to 1: %+v", p)
+	}
+	if p.ClockDriftChips != 0 || p.ExtraJitterChips != 0 {
+		t.Errorf("negative chip magnitudes not clamped: %+v", p)
+	}
+	if p.FeedbackRetries != 0 || p.FallbackImpedance != 0 {
+		t.Errorf("negative integer knobs not clamped: %+v", p)
+	}
+	if p.BurstPowerDBm != -60 || p.BurstMeanSec != 200e-6 || p.DeepFadeDB != 20 {
+		t.Errorf("magnitude defaults not filled: %+v", p)
+	}
+	if p.MaxRoundRetries != 2 {
+		t.Errorf("MaxRoundRetries default = %d, want 2", p.MaxRoundRetries)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Profile{}).Enabled() {
+		t.Error("zero profile reports Enabled")
+	}
+	// Magnitude-only defaults (filled by WithDefaults) must not arm the layer.
+	if (Profile{}).WithDefaults().Enabled() {
+		t.Error("normalized zero profile reports Enabled")
+	}
+	on := []Profile{
+		{StuckImpedanceProb: 0.1},
+		{ClockDriftChips: 0.5},
+		{ExtraJitterChips: 0.5},
+		{EnergyOutageProb: 0.1},
+		{AckLossProb: 0.1},
+		{AckCorruptProb: 0.1},
+		{SpuriousAckProb: 0.1},
+		{FeedbackRetries: 1},
+		{BurstProb: 0.1},
+		{DeepFadeProb: 0.1},
+		{PanicProb: 0.1},
+		{TransientErrProb: 0.1},
+	}
+	for i, p := range on {
+		if !p.Enabled() {
+			t.Errorf("profile %d (%+v) not Enabled", i, p)
+		}
+	}
+}
+
+func TestCountersMergeAnyString(t *testing.T) {
+	var c Counters
+	if c.Any() {
+		t.Error("zero counters report Any")
+	}
+	c.Merge(Counters{StuckTags: 1, AcksLost: 3, InjectedPanics: 2})
+	c.Merge(Counters{AcksLost: 2, TransientErrors: 5})
+	want := Counters{StuckTags: 1, AcksLost: 5, InjectedPanics: 2, TransientErrors: 5}
+	if c != want {
+		t.Errorf("merged counters = %+v, want %+v", c, want)
+	}
+	if !c.Any() {
+		t.Error("non-zero counters report !Any")
+	}
+	s := c.String()
+	for _, frag := range []string{"stuck=1", "acksLost=5", "panics=2", "transients=5"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+// TestInjectorDeterministic: same profile, population and seed give identical
+// static assignments — the construction draws are pure functions of the setup
+// stream.
+func TestInjectorDeterministic(t *testing.T) {
+	p := Profile{StuckImpedanceProb: 0.4, ClockDriftChips: 1.5}
+	a := NewInjector(p, 32, rand.New(rand.NewSource(7)))
+	b := NewInjector(p, 32, rand.New(rand.NewSource(7)))
+	if a.StuckCount() != b.StuckCount() {
+		t.Fatalf("stuck counts differ: %d vs %d", a.StuckCount(), b.StuckCount())
+	}
+	for id := 0; id < 32; id++ {
+		if a.Stuck(id) != b.Stuck(id) || a.DriftChips(id) != b.DriftChips(id) {
+			t.Fatalf("tag %d assignments differ", id)
+		}
+	}
+	if a.Stuck(-1) || a.Stuck(32) || a.DriftChips(-1) != 0 || a.DriftChips(32) != 0 {
+		t.Error("out-of-range tag ids are not inert")
+	}
+	for id := 0; id < 32; id++ {
+		if d := a.DriftChips(id); math.Abs(d) > p.ClockDriftChips/2 {
+			t.Errorf("tag %d drift %.3f exceeds ±%.2f/2", id, d, p.ClockDriftChips)
+		}
+	}
+}
+
+// TestAckFateNested: because AckFate is a single uniform split into ordered
+// regions, the set of lost ACKs at a lower loss rate is a subset of the set at
+// any higher rate when both draw from the same stream — the property that
+// makes FaultSweep curves monotone under common random numbers.
+func TestAckFateNested(t *testing.T) {
+	const draws = 2000
+	lost := func(rate float64) []bool {
+		in := NewInjector(Profile{AckLossProb: rate}, 0, rand.New(rand.NewSource(1)))
+		rng := rand.New(rand.NewSource(42))
+		out := make([]bool, draws)
+		for i := range out {
+			out[i] = in.AckFate(rng) == AckLost
+		}
+		return out
+	}
+	lo, hi := lost(0.2), lost(0.5)
+	nLo, nHi := 0, 0
+	for i := 0; i < draws; i++ {
+		if lo[i] {
+			nLo++
+			if !hi[i] {
+				t.Fatalf("draw %d lost at rate 0.2 but delivered at rate 0.5", i)
+			}
+		}
+		if hi[i] {
+			nHi++
+		}
+	}
+	if nLo == 0 || nHi <= nLo {
+		t.Fatalf("loss sets not growing: %d at 0.2, %d at 0.5", nLo, nHi)
+	}
+}
+
+func TestAckFateRegions(t *testing.T) {
+	in := NewInjector(Profile{AckLossProb: 0.3, AckCorruptProb: 0.3}, 0, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(9))
+	seen := map[AckFate]int{}
+	for i := 0; i < 3000; i++ {
+		seen[in.AckFate(rng)]++
+	}
+	for _, f := range []AckFate{AckDelivered, AckLost, AckCorrupted} {
+		if seen[f] == 0 {
+			t.Errorf("fate %d never drawn with 30/30/40 regions", f)
+		}
+	}
+}
+
+func TestExecPlanBounds(t *testing.T) {
+	in := NewInjector(Profile{TransientErrProb: 1, MaxRoundRetries: 3, PanicProb: 1}, 0,
+		rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		pl := in.ExecPlan(rng)
+		if !pl.Panic {
+			t.Fatalf("draw %d: no panic at probability 1", i)
+		}
+		if pl.FailAttempts < 1 || pl.FailAttempts > 4 {
+			t.Fatalf("draw %d: FailAttempts %d outside [1, 4]", i, pl.FailAttempts)
+		}
+	}
+	off := NewInjector(Profile{}, 0, rand.New(rand.NewSource(1)))
+	if off.ExecFaults() {
+		t.Error("zero profile reports ExecFaults")
+	}
+	if pl := off.ExecPlan(rand.New(rand.NewSource(5))); pl != (ExecPlan{}) {
+		t.Errorf("zero profile drew a non-empty plan: %+v", pl)
+	}
+}
+
+func TestEnergyOutageAndFadeMagnitudes(t *testing.T) {
+	in := NewInjector(Profile{EnergyOutageProb: 1, DeepFadeProb: 1, DeepFadeDB: 20}, 0,
+		rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		frac, ok := in.EnergyOutage(rng)
+		if !ok {
+			t.Fatalf("draw %d: no outage at probability 1", i)
+		}
+		if frac < 0.25 || frac >= 0.95 {
+			t.Fatalf("draw %d: outage fraction %.3f outside [0.25, 0.95)", i, frac)
+		}
+	}
+	scale, ok := in.DeepFade(rng)
+	if !ok {
+		t.Fatal("no fade at probability 1")
+	}
+	if want := 0.1; math.Abs(scale-want) > 1e-12 {
+		t.Errorf("20 dB fade amplitude scale = %g, want %g", scale, want)
+	}
+	off := NewInjector(Profile{}, 0, rand.New(rand.NewSource(1)))
+	if _, ok := off.EnergyOutage(rng); ok {
+		t.Error("outage fired on zero profile")
+	}
+	if scale, _ := off.DeepFade(rng); scale != 1 {
+		t.Errorf("zero-profile fade scale = %g, want 1", scale)
+	}
+}
+
+func TestTransientErrors(t *testing.T) {
+	if !IsTransient(ErrTransient) {
+		t.Error("ErrTransient not transient")
+	}
+	if IsTransient(ErrInjectedPanic) {
+		t.Error("ErrInjectedPanic reported transient")
+	}
+}

@@ -1,0 +1,212 @@
+package mac
+
+import (
+	"errors"
+	"testing"
+
+	"cbma/internal/tag"
+)
+
+// blackout simulates a measurement batch where frames went out but the
+// downlink delivered zero ACKs.
+func blackout(tags []*tag.Tag, sent int) {
+	for _, tg := range tags {
+		for k := 0; k < sent; k++ {
+			tg.NoteFrameSent()
+		}
+	}
+}
+
+func TestFeedbackBlackoutRetriesThenFallsBack(t *testing.T) {
+	tags := makeTags(t, 3)
+	pc, err := NewPowerController(PowerControlConfig{FeedbackRetries: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]tag.ImpedanceState, len(tags))
+	for i, tg := range tags {
+		before[i] = tg.Impedance()
+	}
+
+	// Retries 1 and 2: uncharged, growing backoff, no actuation.
+	for retry, wantBackoff := range map[int]int{1: 1, 2: 2} {
+		blackout(tags, 10)
+		out, err := pc.Round(tags)
+		if err != nil {
+			t.Fatalf("retry %d: %v", retry, err)
+		}
+		if !out.FeedbackLost {
+			t.Fatalf("retry %d: blackout not flagged", retry)
+		}
+		if out.RetryBackoff != wantBackoff {
+			t.Errorf("retry %d: backoff %d, want %d", retry, out.RetryBackoff, wantBackoff)
+		}
+		if out.FellBack || len(out.Adjusted) != 0 {
+			t.Errorf("retry %d: actuated during re-measurement: %+v", retry, out)
+		}
+		if pc.RoundsUsed() != 0 {
+			t.Errorf("retry %d charged the round budget", retry)
+		}
+		if s, _ := tags[0].AckWindow(); s != 0 {
+			t.Errorf("retry %d: ack window not reset", retry)
+		}
+	}
+	for i, tg := range tags {
+		if tg.Impedance() != before[i] {
+			t.Errorf("tag %d impedance churned during retries", i)
+		}
+	}
+
+	// Third blackout: retries exhausted — one budget-charged fallback parking
+	// every tag at its strongest state.
+	blackout(tags, 10)
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.FellBack || !out.FeedbackLost {
+		t.Fatalf("fallback round outcome: %+v", out)
+	}
+	if len(out.Adjusted) != len(tags) {
+		t.Errorf("fallback adjusted %d tags, want %d", len(out.Adjusted), len(tags))
+	}
+	if pc.RoundsUsed() != 1 {
+		t.Errorf("fallback charged %d rounds, want 1", pc.RoundsUsed())
+	}
+	for i, tg := range tags {
+		if want := tag.ImpedanceState(tg.ImpedanceStates()); tg.Impedance() != want {
+			t.Errorf("tag %d parked at %d, want strongest state %d", i, tg.Impedance(), want)
+		}
+	}
+
+	// Post-fallback blackouts keep charging the budget without churning.
+	blackout(tags, 10)
+	out, err = pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FellBack || len(out.Adjusted) != 0 {
+		t.Errorf("second fallback fired: %+v", out)
+	}
+	if pc.RoundsUsed() != 2 {
+		t.Errorf("post-fallback blackout charged %d rounds, want 2", pc.RoundsUsed())
+	}
+}
+
+func TestFeedbackBlackoutRecoveryResetsRetries(t *testing.T) {
+	tags := makeTags(t, 2)
+	pc, err := NewPowerController(PowerControlConfig{FeedbackRetries: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackout(tags, 10)
+	if out, err := pc.Round(tags); err != nil || out.RetryBackoff != 1 {
+		t.Fatalf("first blackout: %+v, %v", out, err)
+	}
+	// A healthy batch clears the consecutive-retry counter...
+	feedAcks(tags, 10, []float64{1, 1})
+	if out, err := pc.Round(tags); err != nil || !out.Converged {
+		t.Fatalf("healthy round: %+v, %v", out, err)
+	}
+	// ...so the next blackout restarts the backoff ladder.
+	blackout(tags, 10)
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RetryBackoff != 1 {
+		t.Errorf("backoff after recovery = %d, want 1", out.RetryBackoff)
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	want := []int{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := retryBackoff(i + 1); got != w {
+			t.Errorf("retryBackoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// TestBlackoutLegacyPath: with FeedbackRetries zero the timeout path is
+// disabled and silence reads as universal frame loss — every tag steps.
+func TestBlackoutLegacyPath(t *testing.T) {
+	tags := makeTags(t, 3)
+	pc, err := NewPowerController(PowerControlConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackout(tags, 10)
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FeedbackLost || out.RetryBackoff != 0 {
+		t.Errorf("timeout path fired with FeedbackRetries=0: %+v", out)
+	}
+	if len(out.Adjusted) != len(tags) {
+		t.Errorf("legacy blackout adjusted %d tags, want all %d", len(out.Adjusted), len(tags))
+	}
+}
+
+func TestFallbackStateConfigured(t *testing.T) {
+	tags := makeTags(t, 2)
+	pc, err := NewPowerController(PowerControlConfig{FeedbackRetries: 1, FallbackState: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackout(tags, 10)
+	if _, err := pc.Round(tags); err != nil {
+		t.Fatal(err)
+	}
+	blackout(tags, 10)
+	out, err := pc.Round(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.FellBack {
+		t.Fatalf("no fallback after the single retry: %+v", out)
+	}
+	for i, tg := range tags {
+		if tg.Impedance() != 2 {
+			t.Errorf("tag %d parked at %d, want configured state 2", i, tg.Impedance())
+		}
+	}
+}
+
+// TestBlackoutExhaustionTerminates: a permanently dead downlink drains the
+// budget through post-fallback blackouts and ends in ErrExhausted.
+func TestBlackoutExhaustionTerminates(t *testing.T) {
+	tags := makeTags(t, 1) // budget: 3 rounds
+	pc, err := NewPowerController(PowerControlConfig{FeedbackRetries: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawExhausted := false
+	for i := 0; i < 10; i++ {
+		blackout(tags, 5)
+		out, err := pc.Round(tags)
+		if out.Exhausted {
+			// The round that spends the last budget unit flags Exhausted with
+			// a nil error; only a call past that point is a driver bug.
+			sawExhausted = true
+			if err != nil {
+				t.Fatalf("budget-spending round errored: %v", err)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawExhausted {
+		t.Fatal("dead downlink never exhausted the budget")
+	}
+	blackout(tags, 5)
+	if _, err := pc.Round(tags); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("post-exhaustion call returned %v, want ErrExhausted", err)
+	}
+	if pc.RoundsUsed() != 3 {
+		t.Errorf("budget drained to %d rounds, want 3", pc.RoundsUsed())
+	}
+}

@@ -132,8 +132,8 @@ func TestRoundBudgetExhaustion(t *testing.T) {
 	}
 	feedAcks(tags, 10, []float64{0})
 	out, err := pc.Round(tags)
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("got %v, want ErrExhausted", err)
 	}
 	if !out.Exhausted || len(out.Adjusted) != 0 {
 		t.Errorf("exhausted controller must stop adjusting: %+v", out)

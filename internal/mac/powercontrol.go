@@ -17,6 +17,13 @@ import (
 // ErrNoTags is returned when a controller is constructed without tags.
 var ErrNoTags = errors.New("mac: at least one tag is required")
 
+// ErrExhausted is returned by Round when it is called after the execution
+// budget is already spent: the caller's loop should have stopped on the
+// previous outcome's Exhausted flag, so a call in this state is a driver
+// bug that used to progress silently (returning an empty outcome that
+// looked like a healthy no-adjustment round).
+var ErrExhausted = errors.New("mac: power-control round budget exhausted")
+
 // PowerControlConfig parameterizes Algorithm 1.
 type PowerControlConfig struct {
 	// FERThreshold is the frame-error-rate trigger (Algorithm 1 line 15:
@@ -29,6 +36,19 @@ type PowerControlConfig struct {
 	// "we limit the number of execution cycles to 3 times the number of
 	// tags"). Zero selects 3.
 	MaxRoundsFactor int
+	// FeedbackRetries enables the feedback-timeout path: when a measurement
+	// batch yields zero ACKs despite transmissions (a total feedback
+	// blackout — downlink dead, not frames failing), the controller asks
+	// the caller to re-measure up to FeedbackRetries times (with growing
+	// batches, see RoundOutcome.RetryBackoff) instead of reading silence as
+	// universal frame loss and churning every tag's impedance. Zero
+	// disables the path entirely, preserving the legacy behaviour.
+	FeedbackRetries int
+	// FallbackState is the impedance state tags are parked at when feedback
+	// retries exhaust — a conservative open-loop configuration. Zero
+	// selects each tag's strongest state (the power-up default, the setting
+	// most likely to be decodable without feedback).
+	FallbackState tag.ImpedanceState
 }
 
 func (c PowerControlConfig) withDefaults() PowerControlConfig {
@@ -41,6 +61,9 @@ func (c PowerControlConfig) withDefaults() PowerControlConfig {
 	if c.MaxRoundsFactor == 0 {
 		c.MaxRoundsFactor = 3
 	}
+	if c.FeedbackRetries < 0 {
+		c.FeedbackRetries = 0
+	}
 	return c
 }
 
@@ -52,6 +75,10 @@ type PowerController struct {
 	cfg       PowerControlConfig
 	maxRounds int
 	rounds    int
+	// retriesUsed counts consecutive feedback-blackout retries; a healthy
+	// round resets it. fellBack latches the one-time fallback parking.
+	retriesUsed int
+	fellBack    bool
 }
 
 // NewPowerController returns a controller for a population of numTags tags.
@@ -80,22 +107,68 @@ type RoundOutcome struct {
 	Converged bool
 	// Exhausted reports that the round budget ran out.
 	Exhausted bool
+	// FeedbackLost reports a total feedback blackout this round: frames
+	// were transmitted but zero ACKs came back across the whole population.
+	// The FER reading is then meaningless (it measures the downlink, not
+	// the frames), so the controller did not adjust impedances from it.
+	// Only set when PowerControlConfig.FeedbackRetries > 0.
+	FeedbackLost bool
+	// RetryBackoff, when positive, asks the caller to enlarge the next
+	// measurement batch by this many extra batch units before calling Round
+	// again — a logical (round-count) backoff: the longer the blackout, the
+	// more airtime the next measurement gets to catch a recovering
+	// downlink. Capped exponential in the consecutive retry count.
+	RetryBackoff int
+	// FellBack reports that feedback retries exhausted this round and the
+	// population was parked at the conservative fallback impedance.
+	FellBack bool
+}
+
+// retryBackoff is the capped exponential batch growth of the feedback
+// retry path: 1, 2, 4, … extra batches, capped at 8.
+func retryBackoff(retry int) int {
+	b := 1 << (retry - 1)
+	if b > 8 {
+		b = 8
+	}
+	return b
 }
 
 // Round executes one pass of Algorithm 1's control loop over the tags'
 // current ACK statistics, stepping the impedance of every tag whose ACK
 // ratio is below the cutoff. It resets each tag's ACK window afterwards so
 // the next measurement round starts clean.
+//
+// Calling Round with an empty population returns ErrNoTags; calling it
+// after a previous outcome already reported Exhausted returns ErrExhausted
+// (with the Exhausted flag set) instead of silently progressing.
+//
+// When FeedbackRetries is configured and the batch shows a total feedback
+// blackout, Round follows the timeout path instead of Algorithm 1: up to
+// FeedbackRetries re-measurements (not charged against the round budget —
+// the controller did not actuate), then a one-time budget-charged fallback
+// that parks every tag at the conservative FallbackState. Further blackout
+// rounds after the fallback keep charging the budget without churning
+// impedances, so a permanently dead downlink terminates through the normal
+// exhaustion path.
 func (pc *PowerController) Round(tags []*tag.Tag) (RoundOutcome, error) {
 	if len(tags) == 0 {
 		return RoundOutcome{}, ErrNoTags
 	}
 	var out RoundOutcome
 	var sum float64
+	sent, acked := 0, 0
 	for _, t := range tags {
 		sum += t.AckRatio()
+		s, a := t.AckWindow()
+		sent += s
+		acked += a
 	}
 	out.FER = 1 - sum/float64(len(tags))
+	if pc.cfg.FeedbackRetries > 0 && sent > 0 && acked == 0 {
+		return pc.feedbackTimeout(tags, out)
+	}
+	pc.retriesUsed = 0
 	if out.FER <= pc.cfg.FERThreshold {
 		out.Converged = true
 		for _, t := range tags {
@@ -105,7 +178,7 @@ func (pc *PowerController) Round(tags []*tag.Tag) (RoundOutcome, error) {
 	}
 	if pc.Exhausted() {
 		out.Exhausted = true
-		return out, nil
+		return out, ErrExhausted
 	}
 	pc.rounds++
 	for _, t := range tags {
@@ -113,6 +186,44 @@ func (pc *PowerController) Round(tags []*tag.Tag) (RoundOutcome, error) {
 			t.StepImpedance()
 			out.Adjusted = append(out.Adjusted, t.ID())
 		}
+		t.ResetAckWindow()
+	}
+	out.Exhausted = pc.Exhausted()
+	return out, nil
+}
+
+// feedbackTimeout handles a total ACK blackout: bounded re-measurement,
+// then the conservative fallback. See Round's doc comment for the contract.
+func (pc *PowerController) feedbackTimeout(tags []*tag.Tag, out RoundOutcome) (RoundOutcome, error) {
+	out.FeedbackLost = true
+	if pc.retriesUsed < pc.cfg.FeedbackRetries {
+		pc.retriesUsed++
+		out.RetryBackoff = retryBackoff(pc.retriesUsed)
+		for _, t := range tags {
+			t.ResetAckWindow()
+		}
+		return out, nil
+	}
+	if pc.Exhausted() {
+		out.Exhausted = true
+		return out, ErrExhausted
+	}
+	pc.rounds++
+	if !pc.fellBack {
+		pc.fellBack = true
+		out.FellBack = true
+		for _, t := range tags {
+			fb := pc.cfg.FallbackState
+			if fb == 0 {
+				fb = tag.ImpedanceState(t.ImpedanceStates())
+			}
+			if err := t.SetImpedance(fb); err != nil {
+				return out, err
+			}
+			out.Adjusted = append(out.Adjusted, t.ID())
+		}
+	}
+	for _, t := range tags {
 		t.ResetAckWindow()
 	}
 	out.Exhausted = pc.Exhausted()

@@ -78,6 +78,14 @@ type Config struct {
 	// Receiver stays safe for sequential reuse either way; results are
 	// returned in code order and are identical to the serial path.
 	Workers int
+	// ResyncFallback enables graceful re-synchronization on ReceiveAt
+	// calls: when the energy detector or the fine alignment fails — deep
+	// fades, mid-frame outages and interference bursts can bury the energy
+	// rise — the receiver falls back to the reader's nominal reply timing
+	// instead of abandoning the buffer, and still attempts user detection
+	// anchored there. Result.Resynced reports the fallback fired. Off by
+	// default: without faults a failed sync genuinely means no frame.
+	ResyncFallback bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -249,6 +257,9 @@ type Result struct {
 	// NoiseW is the noise power estimated from the pre-frame region (or
 	// the configured floor).
 	NoiseW float64
+	// Resynced reports the Config.ResyncFallback path anchored this result
+	// at the reader's nominal timing after sync failed.
+	Resynced bool
 	// Frames holds one entry per detected user.
 	Frames []DecodedFrame
 }
@@ -293,10 +304,18 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	r.power = dsp.MagSquaredInto(r.power, samples)
 	power := r.power
 	start, found := EnergyDetect(power, r.cfg.SyncWindow, r.cfg.SyncThresholdDB, r.shortWindow())
+	resync := r.cfg.ResyncFallback && nominalStart >= 0 && nominalStart < len(samples)
 	if !found {
-		return res, nil
+		if !resync {
+			return res, nil
+		}
+		// Re-sync fallback: the energy rise is buried (fade, outage,
+		// burst), but the reader triggered the reply window, so anchor the
+		// coarse estimate at the nominal timing and press on.
+		start = nominalStart
+		res.Resynced = true
 	}
-	res.FrameDetected = true
+	res.FrameDetected = found
 	res.CoarseStart = start
 	res.NoiseW = r.noiseEstimate(power, start)
 
@@ -304,7 +323,11 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	env := r.env
 	globalStart, ok := r.globalAlign(env, power, start, res.NoiseW, nominalStart)
 	if !ok {
-		return res, nil
+		if !resync {
+			return res, nil
+		}
+		globalStart = nominalStart
+		res.Resynced = true
 	}
 	res.GlobalStart = globalStart
 	if r.cfg.SIC {

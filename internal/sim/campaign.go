@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 )
@@ -16,6 +18,52 @@ type CampaignOpts struct {
 	What string
 }
 
+// PointError records one failed campaign point, preserving which point and
+// which harness produced it. Unwrap exposes the underlying cause for
+// errors.Is/As.
+type PointError struct {
+	// What is the campaign label (CampaignOpts.What); Point the failing
+	// scenario's index within the campaign.
+	What  string
+	Point int
+	// Err is the underlying failure — an engine configuration error or a
+	// recovered point-level panic.
+	Err error
+}
+
+// Error implements error.
+func (e *PointError) Error() string {
+	return fmt.Sprintf("sim: %s: point %d: %v", e.What, e.Point, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *PointError) Unwrap() error { return e.Err }
+
+// CampaignError aggregates every failed point of a campaign. RunCampaign
+// returns it alongside the partial metrics slice: healthy points keep their
+// results, failed ones hold the zero Metrics. Unwrap returns the per-point
+// errors so errors.Is/As see through the aggregate.
+type CampaignError struct {
+	Points []*PointError
+}
+
+// Error reports the first failure and the overall count.
+func (e *CampaignError) Error() string {
+	if len(e.Points) == 1 {
+		return e.Points[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more failed points)", e.Points[0], len(e.Points)-1)
+}
+
+// Unwrap implements the multi-error unwrapping contract of errors.Is/As.
+func (e *CampaignError) Unwrap() []error {
+	out := make([]error, len(e.Points))
+	for i, pe := range e.Points {
+		out[i] = pe
+	}
+	return out
+}
+
 // RunCampaign builds one engine per scenario and runs them all, returning
 // the metrics indexed like points. It is the single execution entry behind
 // runScenario, the sweep harnesses and the paperbench per-point loops: the
@@ -26,6 +74,19 @@ type CampaignOpts struct {
 // metrics depend only on its scenario (see DeriveSeed for per-point seeds),
 // and rounds are bit-reproducible for any worker count.
 func RunCampaign(points []Scenario, opts CampaignOpts) ([]Metrics, error) {
+	return RunCampaignContext(context.Background(), points, opts)
+}
+
+// RunCampaignContext is RunCampaign with cooperative cancellation and
+// resilient point execution. Every point runs regardless of other points'
+// failures — a broken scenario degrades the campaign instead of discarding
+// the healthy points' work — and a point that fails (including by panic)
+// leaves the zero Metrics in its slot and contributes a PointError to the
+// returned *CampaignError. Cancellation stops dispatching new points;
+// points already running return their partial, Interrupted metrics, and the
+// context's error is returned (point failures, if any also occurred, take
+// precedence so they are not masked).
+func RunCampaignContext(ctx context.Context, points []Scenario, opts CampaignOpts) ([]Metrics, error) {
 	if len(points) == 0 {
 		return nil, nil
 	}
@@ -46,24 +107,50 @@ func RunCampaign(points []Scenario, opts CampaignOpts) ([]Metrics, error) {
 		perEngine = 1
 	}
 	out := make([]Metrics, len(points))
-	err := runParallel(pointWorkers, len(points), func(i int) error {
-		scn := points[i]
-		if scn.Workers == 0 {
-			scn.Workers = perEngine
-		}
-		e, err := NewEngine(scn)
-		if err != nil {
-			return fmt.Errorf("sim: %s: point %d: %w", what, i, err)
-		}
-		m, err := e.Run()
-		if err != nil {
-			return fmt.Errorf("sim: %s: point %d: %w", what, i, err)
-		}
-		out[i] = m
-		return nil
+	perr := make([]*PointError, len(points))
+	runParallelCtx(ctx, pointWorkers, len(points), func(i int) {
+		perr[i] = runCampaignPoint(ctx, what, i, points[i], perEngine, out)
 	})
-	if err != nil {
-		return nil, err
+	var failed []*PointError
+	for _, pe := range perr {
+		if pe != nil {
+			failed = append(failed, pe)
+		}
+	}
+	if len(failed) > 0 {
+		return out, &CampaignError{Points: failed}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	return out, nil
+}
+
+// runCampaignPoint executes one campaign point, converting configuration
+// errors and point-level panics into a PointError. A cancelled point is not
+// a failure: its partial metrics (already marked Interrupted by RunContext)
+// land in out and the cancellation is reported campaign-wide instead.
+func runCampaignPoint(ctx context.Context, what string, i int, scn Scenario, perEngine int, out []Metrics) (pe *PointError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PointError{What: what, Point: i, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	if scn.Workers == 0 {
+		scn.Workers = perEngine
+	}
+	e, err := NewEngine(scn)
+	if err != nil {
+		return &PointError{What: what, Point: i, Err: err}
+	}
+	m, err := e.RunContext(ctx)
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			out[i] = m
+			return nil
+		}
+		return &PointError{What: what, Point: i, Err: err}
+	}
+	out[i] = m
+	return nil
 }

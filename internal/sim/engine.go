@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"cbma/internal/fault"
 	"cbma/internal/geom"
 	"cbma/internal/mac"
 	"cbma/internal/pn"
@@ -32,6 +35,10 @@ type Engine struct {
 	// freezes the channel (Scenario.StaticChannel). Drawn once at
 	// construction (phaseSetup) so steady-state rounds stay read-only.
 	staticFading []complex128
+	// inj evaluates the scenario's fault profile; nil when no faults are
+	// injected. The injector is stateless per round (all per-round draws
+	// come from the round's own streams), so round workers share it.
+	inj *fault.Injector
 	// recorder and player implement the paper's §VIII-C trace-driven
 	// emulation (see RecordTo / ReplayFrom).
 	recorder *trace.Recorder
@@ -61,6 +68,15 @@ func NewEngine(scn Scenario) (*Engine, error) {
 		scn: scn,
 		set: set,
 	}
+	// Normalize the fault profile once; a nil or all-zero profile leaves
+	// every fault path (injector, rx fallback) disabled so the run is
+	// bit-identical to an unfaulted one.
+	var fprof fault.Profile
+	faultsOn := false
+	if scn.Fault != nil {
+		fprof = scn.Fault.WithDefaults()
+		faultsOn = fprof.Enabled()
+	}
 	var bank tag.Bank
 	if scn.ImpedanceStates > 0 {
 		bank, err = tag.UniformBank(scn.ImpedanceStates)
@@ -89,12 +105,16 @@ func NewEngine(scn Scenario) (*Engine, error) {
 		NoiseFloorW:     scn.Channel.NoiseFloorW(),
 		SIC:             scn.SIC,
 		PhaseTracking:   scn.PhaseTracking,
+		// Under injected clock faults the energy edge can smear past the
+		// sync stage's tolerance; the reader-timed fallback keeps such
+		// rounds decodable instead of silently empty.
+		ResyncFallback: faultsOn,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: receiver: %w", err)
 	}
 	if scn.PowerControl && !scn.OraclePowerControl {
-		e.pc, err = mac.NewPowerController(mac.PowerControlConfig{}, scn.NumTags)
+		e.pc, err = mac.NewPowerController(e.powerControlConfig(), scn.NumTags)
 		if err != nil {
 			return nil, err
 		}
@@ -119,6 +139,19 @@ func NewEngine(scn Scenario) (*Engine, error) {
 		e.staticFading = make([]complex128, len(e.tags))
 		for j := range e.staticFading {
 			e.staticFading[j] = scn.Channel.DrawFading(rng)
+		}
+	}
+	if faultsOn {
+		// Static fault assignments draw from their own setup stream so the
+		// legacy StreamSetup/StreamFading sequences are undisturbed and a
+		// fault-free profile reproduces the unfaulted run exactly.
+		e.inj = fault.NewInjector(fprof, scn.NumTags, setup.rng(StreamFaultTag))
+		// Stuck switches freeze AFTER the initial impedance draw: the tag
+		// powers up wherever it powers up and stays there.
+		for _, tg := range e.tags {
+			if e.inj.Stuck(tg.ID()) {
+				tg.SetStuck(true)
+			}
 		}
 	}
 	// Noise lead: several bit durations so the energy detector has a
@@ -163,15 +196,31 @@ func (e *Engine) Receiver() *rx.Receiver { return e.recv }
 // from here rather than re-defaulting the original input.
 func (e *Engine) Scenario() Scenario { return e.scn }
 
+// powerControlConfig builds the controller configuration, wiring the fault
+// profile's feedback-timeout parameters in when a profile is present (the
+// timeout path stays off otherwise — silence then reads as universal frame
+// loss, the legacy Algorithm 1 behaviour).
+func (e *Engine) powerControlConfig() mac.PowerControlConfig {
+	var cfg mac.PowerControlConfig
+	if e.scn.Fault != nil {
+		p := e.scn.Fault.WithDefaults()
+		cfg.FeedbackRetries = p.FeedbackRetries
+		cfg.FallbackState = tag.ImpedanceState(p.FallbackImpedance)
+	}
+	return cfg
+}
+
 // runRound simulates one collision round on the serial (phaseAdhoc) path:
 // every listed tag transmits one frame simultaneously; the receiver
 // decodes; tags hear ACKs. The Algorithm 1 exploration batches,
 // RunSchedule entries and the user-detection trials run through here — each
-// consumes the next adhoc round's stream node.
+// consumes the next adhoc round's stream node. Rounds run through the
+// resilient runner: a panicking or transiently failing round comes back
+// quarantined, not as an error.
 func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 	rs := newRoundStreams(e.scn.Seed, e.runSeq, phaseAdhoc, e.adhocRound)
 	e.adhocRound++
-	res, err := e.executeRound(active, rs, &e.round, e.recv)
+	res, err := e.resilientRound(active, rs, &e.round, e.recv)
 	if err != nil {
 		return res, err
 	}
@@ -189,6 +238,16 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 // Scenario.Workers goroutines; the result is bit-identical for any worker
 // count.
 func (e *Engine) Run() (Metrics, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// between rounds (and between exploration batches) and, when it fires,
+// returns the metrics of every round committed so far — finalized, with
+// Metrics.Interrupted set — together with the context's error. Partial
+// results are deterministic up to the cancellation point: the committed
+// rounds are a prefix of the full run's.
+func (e *Engine) RunContext(ctx context.Context) (Metrics, error) {
 	seq := e.runSeq
 	e.runSeq++
 	if e.scn.PowerControl && e.scn.OraclePowerControl {
@@ -200,19 +259,36 @@ func (e *Engine) Run() (Metrics, error) {
 	m.NumTags = e.scn.NumTags
 	m.PerTagSent = make([]int, len(e.tags))
 	m.PerTagDelivered = make([]int, len(e.tags))
-	if e.pc != nil {
-		rounds, converged, err := e.explorePowerControl()
-		if err != nil {
-			return m, err
-		}
-		m.PowerControlRounds = rounds
-		m.PowerControlConverged = converged
+	if e.inj != nil {
+		m.Faults.StuckTags = e.inj.StuckCount()
 	}
-	if err := e.runSteadyState(&m, seq); err != nil {
-		return m, err
+	if e.pc != nil {
+		st, err := e.explorePowerControl(ctx)
+		m.PowerControlRounds = st.rounds
+		m.PowerControlConverged = st.converged
+		m.PowerControlRetries = st.feedbackRetries
+		m.PowerControlFellBack = st.fellBack
+		m.Merge(st.resil)
+		if err != nil {
+			return e.finishRun(ctx, m, err)
+		}
+	}
+	if err := e.runSteadyState(ctx, &m, seq); err != nil {
+		return e.finishRun(ctx, m, err)
 	}
 	m.finalize(e.scn)
 	return m, nil
+}
+
+// finishRun classifies a run-ending error: cancellation finalizes the
+// partial metrics and marks them Interrupted (they are a valid, if
+// truncated, measurement); configuration errors return the metrics as-is.
+func (e *Engine) finishRun(ctx context.Context, m Metrics, err error) (Metrics, error) {
+	if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		m.Interrupted = true
+		m.finalize(e.scn)
+	}
+	return m, err
 }
 
 // workerCount resolves the steady-state worker count: Scenario.Workers,
@@ -234,16 +310,20 @@ func (e *Engine) workerCount() int {
 // is a pure function of its index, so rounds may execute on workers in any
 // order. Both paths commit and merge strictly in round order, which is what
 // makes W=1 and W=N bit-identical.
-func (e *Engine) runSteadyState(m *Metrics, seq uint64) error {
+func (e *Engine) runSteadyState(ctx context.Context, m *Metrics, seq uint64) error {
 	packets := e.scn.Packets
+	m.RoundsPlanned += packets
 	workers := e.workerCount()
 	if workers > packets {
 		workers = packets
 	}
 	if workers <= 1 {
 		for p := 0; p < packets; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			rs := newRoundStreams(e.scn.Seed, seq, phaseSteady, uint64(p))
-			res, err := e.executeRound(e.tags, rs, &e.round, e.recv)
+			res, err := e.resilientRound(e.tags, rs, &e.round, e.recv)
 			if err != nil {
 				return err
 			}
@@ -252,7 +332,7 @@ func (e *Engine) runSteadyState(m *Metrics, seq uint64) error {
 		}
 		return nil
 	}
-	return e.runSteadyParallel(m, seq, packets, workers)
+	return e.runSteadyParallel(ctx, m, seq, packets, workers)
 }
 
 // runSteadyParallel fans the steady-state rounds out to workers goroutines,
@@ -261,10 +341,14 @@ func (e *Engine) runSteadyState(m *Metrics, seq uint64) error {
 // round order by the coordinator. Errors do not short-circuit — a failing
 // round is a configuration bug, not a steady-state event — so every round's
 // slot is filled and the first error by round index is the one reported,
-// same as the serial loop.
-func (e *Engine) runSteadyParallel(m *Metrics, seq uint64, packets, workers int) error {
+// same as the serial loop. Cancellation stops workers from taking new
+// claims; the coordinator then commits only the contiguous prefix of
+// completed rounds, so an interrupted run's metrics are a prefix of the
+// full run's (rounds finished beyond the first gap are discarded).
+func (e *Engine) runSteadyParallel(ctx context.Context, m *Metrics, seq uint64, packets, workers int) error {
 	results := make([]roundResult, packets)
 	errs := make([]error, packets)
+	done := make([]bool, packets)
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -279,27 +363,59 @@ func (e *Engine) runSteadyParallel(m *Metrics, seq uint64, packets, workers int)
 				if p >= packets {
 					return
 				}
+				if ctx.Err() != nil {
+					return
+				}
 				rs := newRoundStreams(e.scn.Seed, seq, phaseSteady, uint64(p))
-				results[p], errs[p] = e.executeRound(e.tags, rs, &rb, recv)
+				results[p], errs[p] = e.resilientRound(e.tags, rs, &rb, recv)
+				done[p] = true
 			}
 		}()
 	}
 	wg.Wait()
 	for p := 0; p < packets; p++ {
+		if !done[p] {
+			break
+		}
 		if errs[p] != nil {
 			return errs[p]
 		}
 		e.commitRound(e.tags, results[p])
 		m.Merge(results[p].metrics(len(e.tags)))
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// pcStats summarizes the exploration phase for RunContext.
+type pcStats struct {
+	rounds          int
+	converged       bool
+	feedbackRetries int
+	fellBack        bool
+	// resil carries the exploration rounds' degradation accounting (their
+	// frame counters stay out of the run metrics — exploration is warm-up).
+	resil Metrics
 }
 
 // explorePowerControl drives Algorithm 1 to convergence or budget
 // exhaustion, then restores the impedance configuration with the lowest
 // observed batch FER. The loop is inherently serial: each batch's outcome
 // feeds the next impedance adjustment.
-func (e *Engine) explorePowerControl() (rounds int, converged bool, err error) {
+//
+// Feedback-timeout handling (only armed when the fault profile sets
+// FeedbackRetries): a batch with zero ACKs across the population makes the
+// controller request a re-measurement instead of adjusting; the requested
+// backoff scales the next batch (more airtime for a recovering downlink) —
+// a logical backoff in measurement rounds, never a wall-clock sleep.
+// Blackout FER readings are garbage (they measure the downlink), so they
+// are excluded from best-configuration tracking, and the final restore
+// keeps the controller's conservative fallback parking whenever no valid
+// measurement was ever observed.
+func (e *Engine) explorePowerControl(ctx context.Context) (pcStats, error) {
+	var st pcStats
 	snapshot := func() []tag.ImpedanceState {
 		out := make([]tag.ImpedanceState, len(e.tags))
 		for i, tg := range e.tags {
@@ -317,27 +433,62 @@ func (e *Engine) explorePowerControl() (rounds int, converged bool, err error) {
 	}
 	bestFER := math.Inf(1)
 	bestStates := snapshot()
-	for {
-		batchStates := snapshot()
-		for p := 0; p < e.scn.PacketsPerRound; p++ {
-			if _, err := e.runRound(e.tags); err != nil {
-				return rounds, false, err
-			}
+	restoreBest := func() error {
+		if math.IsInf(bestFER, 1) {
+			return nil
 		}
+		return restore(bestStates)
+	}
+	batchScale := 1
+	for {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		batchStates := snapshot()
+		batch := e.scn.PacketsPerRound * batchScale
+		st.resil.RoundsPlanned += batch
+		for p := 0; p < batch; p++ {
+			res, err := e.runRound(e.tags)
+			if err != nil {
+				return st, err
+			}
+			st.resil.Merge(res.resilience())
+		}
+		before := e.pc.RoundsUsed()
 		out, err := e.pc.Round(e.tags)
 		if err != nil {
-			return rounds, false, err
+			return st, err
 		}
-		rounds++
+		// st.rounds preserves the legacy meaning — budget-charged controller
+		// rounds plus the final convergence check — while excluding the
+		// uncharged blackout re-measurements.
+		if e.pc.RoundsUsed() > before || !out.FeedbackLost {
+			st.rounds++
+		}
+		batchScale = 1
+		if out.FeedbackLost {
+			if out.RetryBackoff > 0 {
+				st.feedbackRetries++
+				batchScale = 1 + out.RetryBackoff
+			}
+			if out.FellBack {
+				st.fellBack = true
+			}
+			if out.Exhausted {
+				return st, restoreBest()
+			}
+			continue
+		}
 		if out.FER < bestFER {
 			bestFER = out.FER
 			bestStates = batchStates
 		}
 		if out.Converged {
-			return rounds, true, restore(bestStates)
+			st.converged = true
+			return st, restoreBest()
 		}
 		if out.Exhausted {
-			return rounds, false, restore(bestStates)
+			return st, restoreBest()
 		}
 	}
 }
@@ -349,6 +500,12 @@ func (e *Engine) explorePowerControl() (rounds int, converged bool, err error) {
 // controller carried the spent budget (and adjustment history) of earlier
 // placements into later ones.
 func (e *Engine) RunWithPositions(positions []geom.Point) (Metrics, error) {
+	return e.RunWithPositionsContext(context.Background(), positions)
+}
+
+// RunWithPositionsContext is RunWithPositions with cooperative cancellation
+// (see RunContext for the partial-result contract).
+func (e *Engine) RunWithPositionsContext(ctx context.Context, positions []geom.Point) (Metrics, error) {
 	if len(positions) < len(e.tags) {
 		return Metrics{}, ErrNoPositions
 	}
@@ -357,13 +514,13 @@ func (e *Engine) RunWithPositions(positions []geom.Point) (Metrics, error) {
 		tg.ResetAckWindow()
 	}
 	if e.scn.PowerControl && !e.scn.OraclePowerControl {
-		pc, err := mac.NewPowerController(mac.PowerControlConfig{}, e.scn.NumTags)
+		pc, err := mac.NewPowerController(e.powerControlConfig(), e.scn.NumTags)
 		if err != nil {
 			return Metrics{}, err
 		}
 		e.pc = pc
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // RunSchedule runs one collision round per schedule entry, with only the
@@ -376,6 +533,7 @@ func (e *Engine) RunSchedule(schedule [][]int) (Metrics, error) {
 	m.NumTags = e.scn.NumTags
 	m.PerTagSent = make([]int, len(e.tags))
 	m.PerTagDelivered = make([]int, len(e.tags))
+	m.RoundsPlanned = len(schedule)
 	for _, ids := range schedule {
 		active := make([]*tag.Tag, 0, len(ids))
 		for _, id := range ids {

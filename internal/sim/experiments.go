@@ -47,6 +47,7 @@ const (
 	seedWorkingConditions
 	seedPowerDiff
 	seedPowerDiffPlacement
+	seedFaultSweep
 )
 
 // runScenario runs one scenario through the campaign entry, wrapping errors

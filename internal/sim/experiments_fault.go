@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"cbma/internal/fault"
+)
+
+// FaultSweep measures error rate versus fault intensity: for each rate the
+// mod callback sets one knob of the fault profile, and the scenario runs as
+// one campaign point. The curve is the robustness analogue of the paper's
+// Fig. 8 micro benchmarks — how gracefully CBMA degrades as a failure mode
+// intensifies.
+//
+// Every point runs under the SAME derived seed (common random numbers):
+// payloads, channel draws and the underlying fault-stream uniforms are
+// shared across points, so the only cross-point difference is the profile's
+// thresholds. For single-draw fault decisions (e.g. the per-ACK fate draw)
+// the fault sets are then nested — a fault that fires at 10% also fires at
+// 20% — which is what makes the degradation curves smooth and monotone at
+// modest packet counts instead of drowning in sampling noise.
+//
+// The base scenario's fault profile (if any) supplies the knobs mod does
+// not touch; base.Fault itself is never mutated.
+//
+// Cancellation returns the series built from the points finished so far
+// (unfinished points hold the zero Metrics) together with the context's
+// error, so an interrupted sweep still flushes its partial curve.
+func FaultSweep(ctx context.Context, base Scenario, name string, rates []float64, mod func(*fault.Profile, float64)) (Series, error) {
+	s := Series{Name: name}
+	points := make([]Scenario, 0, len(rates))
+	for _, r := range rates {
+		scn := base
+		scn.Deployment.Tags = nil
+		scn.Seed = DeriveSeed(base.Seed, seedFaultSweep)
+		var p fault.Profile
+		if base.Fault != nil {
+			p = *base.Fault
+		}
+		mod(&p, r)
+		prof := p
+		scn.Fault = &prof
+		points = append(points, scn)
+	}
+	ms, err := RunCampaignContext(ctx, points, CampaignOpts{What: fmt.Sprintf("fault sweep: %s", name)})
+	for i, r := range rates {
+		if i >= len(ms) {
+			break
+		}
+		s.Points = append(s.Points, Point{X: r, Metrics: ms[i]})
+	}
+	return s, err
+}
+
+// FaultSweepAckLoss sweeps the feedback ACK-loss probability — the
+// headline robustness curve: error rate versus downlink loss rate. ACK loss
+// only bites through the Algorithm 1 feedback loop, so a meaningful curve
+// needs base.PowerControl (and typically RandomInitialImpedance, so the
+// controller has boot states to repair); without power control the curve is
+// flat by construction.
+func FaultSweepAckLoss(ctx context.Context, base Scenario, rates []float64) (Series, error) {
+	return FaultSweep(ctx, base, "ack loss", rates, func(p *fault.Profile, r float64) {
+		p.AckLossProb = r
+	})
+}
+
+// FaultSweepEnergyOutage sweeps the per-tag mid-frame energy-outage
+// probability — the physical-layer degradation curve: outages truncate
+// frames, so the error rate climbs directly with the rate.
+func FaultSweepEnergyOutage(ctx context.Context, base Scenario, rates []float64) (Series, error) {
+	return FaultSweep(ctx, base, "energy outage", rates, func(p *fault.Profile, r float64) {
+		p.EnergyOutageProb = r
+	})
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"cbma/internal/fault"
 	"cbma/internal/stats"
 )
 
@@ -33,6 +34,29 @@ type Metrics struct {
 	// PowerControlConverged reports whether the FER target was met.
 	PowerControlRounds    int
 	PowerControlConverged bool
+	// PowerControlRetries counts feedback-blackout re-measurements the
+	// controller requested (mac.RoundOutcome.FeedbackLost with a retry);
+	// PowerControlFellBack reports the conservative fallback-impedance
+	// parking was taken after retries exhausted.
+	PowerControlRetries  int
+	PowerControlFellBack bool
+	// Degradation accounting of the resilient runner. RoundsPlanned counts
+	// rounds the run intended to execute (steady-state packets plus
+	// adjustment batches); RoundsExecuted those that completed;
+	// RoundsQuarantined those abandoned after a panic or after transient
+	// retries exhausted. RoundRetries counts retry attempts across all
+	// rounds. On an uninterrupted run,
+	// RoundsExecuted + RoundsQuarantined == RoundsPlanned.
+	RoundsPlanned     int
+	RoundsExecuted    int
+	RoundsQuarantined int
+	RoundRetries      int
+	// Interrupted reports the run was cut short by context cancellation;
+	// the counters then cover only the rounds committed before the cut.
+	Interrupted bool
+	// Faults counts how often each injected fault fired (zero value when
+	// the scenario has no fault profile).
+	Faults fault.Counters
 	// PerTagSent and PerTagDelivered count frames per tag ID — the
 	// delivery ratios node selection uses to mark "bad" tags.
 	PerTagSent      []int
@@ -86,6 +110,14 @@ func (m *Metrics) Merge(o Metrics) {
 	m.AirtimeSeconds += o.AirtimeSeconds
 	m.PowerControlRounds += o.PowerControlRounds
 	m.PowerControlConverged = m.PowerControlConverged || o.PowerControlConverged
+	m.PowerControlRetries += o.PowerControlRetries
+	m.PowerControlFellBack = m.PowerControlFellBack || o.PowerControlFellBack
+	m.RoundsPlanned += o.RoundsPlanned
+	m.RoundsExecuted += o.RoundsExecuted
+	m.RoundsQuarantined += o.RoundsQuarantined
+	m.RoundRetries += o.RoundRetries
+	m.Interrupted = m.Interrupted || o.Interrupted
+	m.Faults.Merge(o.Faults)
 	m.PerTagSent = mergeCounts(m.PerTagSent, o.PerTagSent)
 	m.PerTagDelivered = mergeCounts(m.PerTagDelivered, o.PerTagDelivered)
 }
@@ -116,8 +148,17 @@ func (m *Metrics) finalize(scn Scenario) {
 	m.RawAggregateBps = float64(m.NumTags) * scn.ChipRateHz * m.PRR
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary; degraded runs append their
+// quarantine/interruption accounting.
 func (m Metrics) String() string {
-	return fmt.Sprintf("tags=%d sent=%d delivered=%d FER=%.4f goodput=%.0f bps raw=%.0f bps",
+	s := fmt.Sprintf("tags=%d sent=%d delivered=%d FER=%.4f goodput=%.0f bps raw=%.0f bps",
 		m.NumTags, m.FramesSent, m.FramesDelivered, m.FER, m.GoodputBps, m.RawAggregateBps)
+	if m.RoundsQuarantined > 0 || m.RoundRetries > 0 {
+		s += fmt.Sprintf(" quarantined=%d/%d retries=%d",
+			m.RoundsQuarantined, m.RoundsPlanned, m.RoundRetries)
+	}
+	if m.Interrupted {
+		s += " (interrupted)"
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -67,4 +68,48 @@ dispatch:
 	close(next)
 	wg.Wait()
 	return firstErr
+}
+
+// runParallelCtx executes fn(0) … fn(n−1) across up to workers goroutines
+// for functions that report failures out-of-band (into caller-owned,
+// index-disjoint slots). Unlike runParallel, individual failures never stop
+// dispatch — every index runs — so a campaign's healthy points complete
+// around its broken ones. Cancellation is the only early exit: once
+// ctx.Err() is non-nil, undispatched indices are skipped (their slots stay
+// untouched) while in-flight invocations drain to completion.
+func runParallelCtx(ctx context.Context, workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without starting new points
+				}
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }

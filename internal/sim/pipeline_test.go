@@ -6,13 +6,15 @@ import (
 	"testing"
 
 	"cbma/internal/channel"
+	"cbma/internal/fault"
 	"cbma/internal/trace"
 )
 
 // workerScenarios are the bit-reproducibility fixtures: the plain engine,
-// the SIC receiver under CFO, power control with a lossy ACK downlink, and
-// a static channel with external interference — together they exercise
-// every RNG stream of the round pipeline.
+// the SIC receiver under CFO, power control with a lossy ACK downlink, a
+// static channel with external interference, and a run with every fault
+// layer armed — together they exercise every RNG stream of the round
+// pipeline, including the fault streams and the quarantine/retry paths.
 func workerScenarios(t *testing.T) map[string]Scenario {
 	t.Helper()
 	plain := fastScenario()
@@ -42,11 +44,32 @@ func workerScenarios(t *testing.T) map[string]Scenario {
 	}
 	static.OFDMExcitation = true
 
+	faulted := fastScenario()
+	faulted.NumTags = 3
+	faulted.Packets = packets(t, 24)
+	faulted.PowerControl = true
+	faulted.RandomInitialImpedance = true
+	faulted.Fault = &fault.Profile{
+		StuckImpedanceProb: 0.3,
+		ClockDriftChips:    0.2,
+		ExtraJitterChips:   0.2,
+		EnergyOutageProb:   0.1,
+		AckLossProb:        0.2,
+		AckCorruptProb:     0.1,
+		SpuriousAckProb:    0.05,
+		FeedbackRetries:    2,
+		BurstProb:          0.1,
+		DeepFadeProb:       0.1,
+		PanicProb:          0.05,
+		TransientErrProb:   0.1,
+	}
+
 	return map[string]Scenario{
 		"plain":        plain,
 		"sic+cfo":      sic,
 		"powercontrol": pc,
 		"static+intf":  static,
+		"faulted":      faulted,
 	}
 }
 

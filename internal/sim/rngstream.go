@@ -40,6 +40,20 @@ const (
 	// impedance states); static-channel fading uses StreamFading under
 	// phaseSetup.
 	StreamSetup
+	// StreamFaultTag feeds the tag-layer fault draws: the one-time stuck
+	// and drift assignments (under phaseSetup) and the per-round extra
+	// jitter / energy-outage draws (internal/fault).
+	StreamFaultTag
+	// StreamFaultChannel feeds the channel-layer fault draws (deep fades,
+	// interference bursts).
+	StreamFaultChannel
+	// StreamFaultAck feeds the feedback-layer fault draws (ACK loss,
+	// corruption, spurious ACKs).
+	StreamFaultAck
+	// StreamFaultExec feeds the execution-layer fault plan (injected panics
+	// and transient failures) — drawn once per round, before the attempt
+	// loop, so retries cannot re-roll their fate.
+	StreamFaultExec
 	numStreams
 )
 

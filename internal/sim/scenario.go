@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"cbma/internal/channel"
+	"cbma/internal/fault"
 	"cbma/internal/frame"
 	"cbma/internal/geom"
 	"cbma/internal/pn"
@@ -131,6 +132,17 @@ type Scenario struct {
 	// bit-identical Metrics — rounds draw from per-round RNG streams and
 	// commit in round order — so Workers is purely a wall-clock knob.
 	Workers int
+	// Fault, when non-nil, enables the deterministic fault-injection layer
+	// (internal/fault): stuck impedance switches, clock drift, mid-frame
+	// energy outages, ACK loss/corruption, interference bursts, deep fades
+	// and injected execution failures, all drawn from dedicated per-round
+	// RNG streams so schedules are bit-identical for any worker count. The
+	// profile is shared by value-copied scenarios and must not be mutated
+	// after the scenario is handed to an engine. A fault profile also
+	// enables the receiver's re-sync fallback (rx.Config.ResyncFallback)
+	// and, when FeedbackRetries is set, the power controller's
+	// feedback-timeout path.
+	Fault *fault.Profile
 }
 
 // DefaultScenario returns a runnable baseline: 2 tags with Gold-31 codes on

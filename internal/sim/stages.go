@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"cbma/internal/channel"
 	"cbma/internal/dsp"
+	"cbma/internal/fault"
 	"cbma/internal/rx"
 	"cbma/internal/tag"
 	"cbma/internal/trace"
@@ -104,21 +106,44 @@ type roundResult struct {
 	acked []int
 	// recorded carries the round's trace samples when recording is on.
 	recorded []trace.TagSample
+	// quarantined marks a round abandoned by the resilient runner (panic or
+	// exhausted transient retries): it contributes degradation accounting
+	// but no frame counters or tag feedback. retries counts the attempts
+	// beyond the first; faults the injected faults that fired.
+	quarantined bool
+	retries     int
+	faults      fault.Counters
+}
+
+// resilience converts only the round's degradation accounting into a
+// Metrics partial — what the exploration (adhoc) rounds contribute, since
+// their frame counters are warm-up, not measurement.
+func (r roundResult) resilience() Metrics {
+	m := Metrics{RoundRetries: r.retries, Faults: r.faults}
+	if r.quarantined {
+		m.RoundsQuarantined = 1
+	} else {
+		m.RoundsExecuted = 1
+	}
+	return m
 }
 
 // metrics converts the round's counters into a mergeable Metrics partial
-// (see Metrics.Merge); numTags sizes the per-tag slices.
+// (see Metrics.Merge); numTags sizes the per-tag slices. A quarantined
+// round carries only its degradation accounting.
 func (r roundResult) metrics(numTags int) Metrics {
-	m := Metrics{
-		NumTags:         numTags,
-		FramesSent:      r.sent,
-		FramesDetected:  len(r.detectedIDs),
-		FramesDelivered: r.delivered,
-		FalseFrames:     r.falsePos,
-		AirtimeSamples:  int64(r.samples),
-		PerTagSent:      make([]int, numTags),
-		PerTagDelivered: make([]int, numTags),
+	m := r.resilience()
+	m.NumTags = numTags
+	if r.quarantined {
+		return m
 	}
+	m.FramesSent = r.sent
+	m.FramesDetected = len(r.detectedIDs)
+	m.FramesDelivered = r.delivered
+	m.FalseFrames = r.falsePos
+	m.AirtimeSamples = int64(r.samples)
+	m.PerTagSent = make([]int, numTags)
+	m.PerTagDelivered = make([]int, numTags)
 	for _, id := range r.sentIDs {
 		if id >= 0 && id < numTags {
 			m.PerTagSent[id]++
@@ -154,16 +179,18 @@ func (e *Engine) executeRound(active []*tag.Tag, rs *roundStreams, rb *roundBuff
 		}
 		replay = &r
 	}
-	tx, err := e.buildTransmissions(active, rs, rb, replay)
+	var fc fault.Counters
+	tx, err := e.buildTransmissions(active, rs, rb, replay, &fc)
 	if err != nil {
 		return res, err
 	}
-	buf, recorded, err := e.mixChannel(tx, rs, rb, replay)
+	buf, recorded, err := e.mixChannel(tx, rs, rb, replay, &fc)
 	if err != nil {
 		return res, err
 	}
-	res, err = e.decodeAndAck(recv, buf, tx, rs)
+	res, err = e.decodeAndAck(recv, buf, tx, rs, &fc)
 	res.recorded = recorded
+	res.faults = fc
 	return res, err
 }
 
@@ -173,7 +200,7 @@ func (e *Engine) executeRound(active []*tag.Tag, rs *roundStreams, rb *roundBuff
 // ramp. All storage comes from rb.
 //
 //cbma:hotpath
-func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *roundBuffers, replay *trace.Round) (transmissionSet, error) {
+func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *roundBuffers, replay *trace.Round, fc *fault.Counters) (transmissionSet, error) {
 	spc := e.scn.SamplesPerChip()
 	rb.grow(len(active))
 	tx := transmissionSet{
@@ -185,12 +212,25 @@ func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *rou
 	}
 	minDelay := math.Inf(1)
 	jitter := rs.rng(StreamJitter)
+	// Tag-layer fault draws (extra jitter, energy outages) come from the
+	// round's dedicated fault stream, in tag order: jitter draws in this
+	// loop, outage draws in the waveform loop below.
+	var ftag *rand.Rand
+	if e.inj != nil && e.inj.TagRoundFaults() {
+		ftag = rs.rng(StreamFaultTag)
+	}
 	for i, tg := range active {
 		// Per-tag clock offset: fixed extra delay (Fig. 11) plus uniform
 		// jitter, in (fractional) samples.
 		delayChips := e.scn.JitterChips * (jitter.Float64() - 0.5)
 		if tg.ID() < len(e.scn.ExtraDelayChips) {
 			delayChips += e.scn.ExtraDelayChips[tg.ID()]
+		}
+		if e.inj != nil {
+			delayChips += e.inj.DriftChips(tg.ID())
+			if ftag != nil {
+				delayChips += e.inj.ExtraJitter(ftag)
+			}
 		}
 		tx.delays[i] = delayChips * float64(spc)
 		if tx.delays[i] < minDelay {
@@ -249,6 +289,17 @@ func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *rou
 				phasor *= rot
 			}
 		}
+		if ftag != nil {
+			// Mid-frame energy outage: the harvested supply dies after a
+			// drawn fraction of the frame and the reflection goes silent.
+			if frac, hit := e.inj.EnergyOutage(ftag); hit {
+				cut := int(frac * float64(len(w)))
+				for k := cut; k < len(w); k++ {
+					w[k] = 0
+				}
+				fc.EnergyOutages++
+			}
+		}
 		tx.waves[i] = w
 		tx.offsets[i] = off
 		if end := e.leadSamples + off + len(w); end > tx.maxEnd {
@@ -268,7 +319,7 @@ func (e *Engine) buildTransmissions(active []*tag.Tag, rs *roundStreams, rb *rou
 // the round's trace samples.
 //
 //cbma:hotpath
-func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffers, replay *trace.Round) ([]complex128, []trace.TagSample, error) {
+func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffers, replay *trace.Round, fc *fault.Counters) ([]complex128, []trace.TagSample, error) {
 	spc := e.scn.SamplesPerChip()
 	tail := 2 * e.set.ChipLength() * spc
 	buf := rb.mixFor(tx.maxEnd + tail)
@@ -278,6 +329,13 @@ func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffe
 	var gate []float64
 	if e.scn.OFDMExcitation {
 		gate = channel.ExcitationGate(rs.rng(StreamExcitation), len(buf), e.scn.SampleRateHz, 2e-3, 1e-3)
+	}
+
+	// Channel-layer fault draws (deep fades in tag order, then the burst)
+	// come from the round's dedicated fault stream.
+	var fch *rand.Rand
+	if e.inj != nil && e.inj.ChannelRoundFaults() {
+		fch = rs.rng(StreamFaultChannel)
 	}
 
 	for i, tg := range tx.active {
@@ -298,6 +356,12 @@ func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffe
 			link = e.scn.Channel.DrawLink(
 				e.scn.Deployment.ES, tg.Position(), e.scn.Deployment.RX, dg, rs.rng(StreamFading))
 		}
+		if fch != nil {
+			if scale, hit := e.inj.DeepFade(fch); hit {
+				link.Gain *= complex(scale, 0)
+				fc.DeepFades++
+			}
+		}
 		rb.gains[i] = link.Gain
 		base := e.leadSamples + tx.offsets[i]
 		for k, v := range tx.waves[i] {
@@ -314,6 +378,10 @@ func (e *Engine) mixChannel(tx transmissionSet, rs *roundStreams, rb *roundBuffe
 	}
 	for _, intf := range e.scn.Interferers {
 		intf.Apply(rs.rng(StreamInterference), buf, e.scn.SampleRateHz)
+	}
+	if fch != nil && e.inj.Burst(fch) {
+		e.inj.ApplyBurst(fch, buf, e.scn.SampleRateHz)
+		fc.Bursts++
 	}
 	channel.AWGN(rs.rng(StreamNoise), buf, e.scn.Channel.NoiseFloorW())
 	var recorded []trace.TagSample
@@ -346,7 +414,7 @@ func traceSamples(tx transmissionSet, gains []complex128, spc int) []trace.TagSa
 // buffer, verifies payloads against the transmissions, and draws the ACK
 // downlink losses. The resulting ACKs are reported in roundResult.acked
 // rather than applied, keeping the stage free of tag mutation.
-func (e *Engine) decodeAndAck(recv *rx.Receiver, buf []complex128, tx transmissionSet, rs *roundStreams) (roundResult, error) {
+func (e *Engine) decodeAndAck(recv *rx.Receiver, buf []complex128, tx transmissionSet, rs *roundStreams, fc *fault.Counters) (roundResult, error) {
 	var res roundResult
 	// The engine is also the reader: it triggered the tags, so it knows
 	// the nominal reply start (rx.ReceiveAt's timing reference).
@@ -388,12 +456,44 @@ func (e *Engine) decodeAndAck(recv *rx.Receiver, buf []complex128, tx transmissi
 			res.deliveredIDs = append(res.deliveredIDs, tx.active[idx].ID())
 			// The ACK downlink may itself be lossy (Scenario.AckLossProb);
 			// receiver-side delivery metrics are unaffected, only the
-			// tag's feedback loop is starved.
+			// tag's feedback loop is starved. The fault layer's feedback
+			// faults (loss, corruption) ride on top, drawn per delivered
+			// frame in frame order from the dedicated fault stream.
 			if e.scn.AckLossProb <= 0 || rs.rng(StreamAckLoss).Float64() >= e.scn.AckLossProb {
-				res.acked = append(res.acked, idx)
+				heard := true
+				if e.inj != nil && e.inj.AckFaults() {
+					switch e.inj.AckFate(rs.rng(StreamFaultAck)) {
+					case fault.AckLost:
+						heard = false
+						fc.AcksLost++
+					case fault.AckCorrupted:
+						heard = false
+						fc.AcksCorrupted++
+					}
+				}
+				if heard {
+					res.acked = append(res.acked, idx)
+				}
 			}
 		} else {
 			res.falsePos++
+		}
+	}
+	// Spurious ACKs: each tag that did not hear a (real) ACK this round may
+	// falsely detect one, poisoning the feedback loop in the optimistic
+	// direction. Drawn in active order after the per-frame fates, so the
+	// fault stream's consumption is position-independent.
+	if e.inj != nil && e.inj.SpuriousAcks() {
+		srng := rs.rng(StreamFaultAck)
+		heard := make([]bool, len(tx.active))
+		for _, idx := range res.acked {
+			heard[idx] = true
+		}
+		for idx := range tx.active {
+			if !heard[idx] && e.inj.SpuriousAck(srng) {
+				res.acked = append(res.acked, idx)
+				fc.SpuriousAcks++
+			}
 		}
 	}
 	return res, nil
@@ -402,13 +502,17 @@ func (e *Engine) decodeAndAck(recv *rx.Receiver, buf []complex128, tx transmissi
 // commitRound applies the round's engine-state mutations — the tags' MAC
 // counters and trace recording. Under parallel execution it is called in
 // round order by the coordinating goroutine, so tag feedback and recorded
-// traces are identical to the serial loop's.
+// traces are identical to the serial loop's. A quarantined round commits no
+// tag feedback (its frames never aired) but still records an empty trace
+// round so the trace's Seq numbering stays aligned with the round index.
 func (e *Engine) commitRound(active []*tag.Tag, res roundResult) {
-	for _, tg := range active {
-		tg.NoteFrameSent()
-	}
-	for _, idx := range res.acked {
-		active[idx].NoteAck()
+	if !res.quarantined {
+		for _, tg := range active {
+			tg.NoteFrameSent()
+		}
+		for _, idx := range res.acked {
+			active[idx].NoteAck()
+		}
 	}
 	if e.recorder != nil {
 		e.recorder.Record(res.recorded)

@@ -1,0 +1,38 @@
+package tag
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStuckSwitchFreezesImpedance: the fault layer's stuck-SPDT model — a
+// stuck switch silently ignores actuation (the hardware has no way to report
+// the failure) but still rejects out-of-range commands, and releasing it
+// restores actuation.
+func TestStuckSwitchFreezesImpedance(t *testing.T) {
+	tg := newTestTag(t)
+	if err := tg.SetImpedance(2); err != nil {
+		t.Fatal(err)
+	}
+	tg.SetStuck(true)
+	if !tg.Stuck() {
+		t.Fatal("SetStuck(true) did not stick")
+	}
+	if err := tg.SetImpedance(3); err != nil {
+		t.Fatalf("stuck SetImpedance must fail silently, got %v", err)
+	}
+	tg.StepImpedance()
+	if tg.Impedance() != 2 {
+		t.Fatalf("stuck switch moved to state %d", tg.Impedance())
+	}
+	// Invalid commands still validate — stuckness hides actuation failures,
+	// not protocol errors.
+	if err := tg.SetImpedance(ImpedanceState(tg.ImpedanceStates() + 1)); !errors.Is(err, ErrBadImpedance) {
+		t.Fatalf("stuck switch swallowed an invalid state: %v", err)
+	}
+	tg.SetStuck(false)
+	tg.StepImpedance()
+	if tg.Impedance() != 3 {
+		t.Fatalf("released switch stepped to %d, want 3", tg.Impedance())
+	}
+}

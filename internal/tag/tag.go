@@ -51,6 +51,11 @@ type Tag struct {
 	cfg Config
 	pos geom.Point
 	z   ImpedanceState
+	// stuck marks a failed SPDT switch (fault injection): the tag stays in
+	// its current state and silently ignores impedance commands, which is
+	// exactly what the hardware does — the controller cannot observe the
+	// failure except through the feedback loop.
+	stuck bool
 	// Counters for the MAC layer's ACK bookkeeping.
 	framesSent int
 	acksHeard  int
@@ -83,10 +88,15 @@ func (t *Tag) Code() pn.Code { return t.cfg.Code }
 // Impedance returns the current impedance state.
 func (t *Tag) Impedance() ImpedanceState { return t.z }
 
-// SetImpedance selects an impedance state.
+// SetImpedance selects an impedance state. A stuck switch (SetStuck)
+// silently ignores the command — the caller has no way to sense the failed
+// actuator, matching the hardware.
 func (t *Tag) SetImpedance(z ImpedanceState) error {
 	if z < 1 || int(z) > t.cfg.Bank.States() {
 		return fmt.Errorf("%w: %d", ErrBadImpedance, z)
+	}
+	if t.stuck {
+		return nil
 	}
 	t.z = z
 	return nil
@@ -94,13 +104,28 @@ func (t *Tag) SetImpedance(z ImpedanceState) error {
 
 // StepImpedance advances the impedance state cyclically — lines 18–22 of
 // the paper's Algorithm 1: "if Z == Z_max { Z ← 1 } else { Z ← Z + 1 }".
+// A stuck switch does not move.
 func (t *Tag) StepImpedance() {
+	if t.stuck {
+		return
+	}
 	if int(t.z) >= t.cfg.Bank.States() {
 		t.z = 1
 		return
 	}
 	t.z++
 }
+
+// SetStuck freezes (or releases) the impedance switch in its current state —
+// the fault layer's stuck-SPDT model.
+func (t *Tag) SetStuck(stuck bool) { t.stuck = stuck }
+
+// Stuck reports whether the impedance switch is stuck.
+func (t *Tag) Stuck() bool { return t.stuck }
+
+// ImpedanceStates returns the size of the tag's impedance bank (state
+// indices run 1..ImpedanceStates, strongest last).
+func (t *Tag) ImpedanceStates() int { return t.cfg.Bank.States() }
 
 // DeltaGamma returns the tag's current backscatter coefficient |ΔΓ|.
 func (t *Tag) DeltaGamma() (float64, error) {
@@ -182,6 +207,12 @@ func (t *Tag) AckRatio() float64 {
 	}
 	return float64(t.acksHeard) / float64(t.framesSent)
 }
+
+// AckWindow exposes the raw counters of the current measurement window —
+// the controller's feedback-blackout detection needs the absolute counts,
+// not just the ratio (zero ACKs over 100 frames and zero frames sent are
+// very different situations).
+func (t *Tag) AckWindow() (sent, acked int) { return t.framesSent, t.acksHeard }
 
 // ResetAckWindow clears the ACK statistics for the next measurement round.
 func (t *Tag) ResetAckWindow() { t.framesSent, t.acksHeard = 0, 0 }
