@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"cbma/internal/obs"
 	"cbma/internal/paperbench"
 )
 
@@ -37,6 +39,9 @@ func run(args []string, now func() time.Time) error {
 		packets = fs.Int("packets", 0, "packets per sweep point (0 = scale default)")
 		groups  = fs.Int("groups", 0, "random placement groups (0 = scale default)")
 		trials  = fs.Int("trials", 0, "user-detection trials (0 = scale default)")
+		obsOn   = fs.Bool("obs", false, "enable telemetry: stage timings, JSONL events, live progress and a run manifest under -obs-out")
+		obsOut  = fs.String("obs-out", "obs", "directory for events.jsonl and manifest.json (with -obs)")
+		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +67,38 @@ func run(args []string, now func() time.Time) error {
 		opts.Trials = *trials
 	}
 
+	// Telemetry composition root: the injected clock (main passes time.Now)
+	// drives spans, ETAs and event timestamps; experiments never read time
+	// themselves. With -obs each campaign streams events to
+	// <obs-out>/events.jsonl and the run leaves a manifest whose per-stage
+	// breakdown makes BENCH_*.json entries reproducible artifacts.
+	var (
+		sink *obs.Sink
+		o    *obs.Observer
+	)
+	if *obsOn || *pprof != "" {
+		if *obsOn {
+			s, err := obs.FileSink(*obsOut)
+			if err != nil {
+				return err
+			}
+			sink = s
+		}
+		o = obs.New(obs.Config{
+			Clock:    obs.Clock(now),
+			Sink:     sink,
+			Progress: obs.NewProgress(os.Stderr, obs.Clock(now)),
+		})
+		opts.Obs = o
+	}
+	if *pprof != "" {
+		bound, err := obs.ServeDebug(*pprof, o.Registry())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cbmabench: debug endpoint at http://%s/debug/pprof/ (registry at /debug/vars)\n", bound)
+	}
+
 	var selected []paperbench.Experiment
 	if *exp == "all" {
 		selected = paperbench.All()
@@ -72,6 +109,7 @@ func run(args []string, now func() time.Time) error {
 		}
 		selected = []paperbench.Experiment{e}
 	}
+	ran := make([]string, 0, len(selected))
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		start := now()
@@ -79,6 +117,23 @@ func run(args []string, now func() time.Time) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Printf("    (%.1fs)\n\n", now().Sub(start).Seconds())
+		ran = append(ran, e.ID)
 	}
-	return nil
+	if o == nil {
+		return nil
+	}
+	err := sink.Close()
+	if !*obsOn {
+		return err
+	}
+	man := o.Manifest("cbmabench")
+	man.Seed = opts.Seed
+	man.Config = map[string]any{"experiments": ran, "options": opts}
+	if h, herr := obs.HashJSON(man.Config); herr == nil {
+		man.ScenarioHash = h
+	}
+	if werr := obs.WriteManifest(filepath.Join(*obsOut, obs.ManifestFile), man); err == nil {
+		err = werr
+	}
+	return err
 }

@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"cbma"
+	"cbma/internal/obs"
 	"cbma/internal/pn"
 )
 
@@ -137,6 +139,9 @@ func run(ctx context.Context, args []string) error {
 		faultSpec  = fs.String("fault", "", "fault profile as k=v pairs: stuck, drift-chips, jitter-chips, outage, ack-loss, ack-corrupt, spurious-ack, feedback-retries, fallback-state, burst, burst-dbm, burst-sec, fade, fade-db, panic, transient, retries")
 		faultSweep = fs.String("fault-sweep", "", "sweep a fault knob over -sweep-rates: ack-loss or outage")
 		sweepRates = fs.String("sweep-rates", "0,0.1,0.2,0.3,0.4,0.5", "comma-separated rates for -fault-sweep")
+		obsOn      = fs.Bool("obs", false, "enable telemetry: stage timings, JSONL events and a run manifest under -obs-out")
+		obsOut     = fs.String("obs-out", "obs", "directory for events.jsonl and manifest.json (with -obs)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,12 +186,75 @@ func run(ctx context.Context, args []string) error {
 		scn.Fault = prof
 	}
 
+	// Telemetry is assembled here, the composition root: the wall clock is
+	// captured once (obs.SystemClock) and injected; nothing below main reads
+	// time directly. With -obs the run streams JSONL events to
+	// <obs-out>/events.jsonl and leaves a manifest in <obs-out>/manifest.json;
+	// -pprof additionally serves the live registry and profiler.
+	var (
+		telem *obs.Sink
+		o     *obs.Observer
+	)
+	if *obsOn || *pprofAddr != "" {
+		if *obsOn {
+			s, err := obs.FileSink(*obsOut)
+			if err != nil {
+				return err
+			}
+			telem = s
+		}
+		o = obs.New(obs.Config{
+			Clock:    obs.SystemClock(),
+			Sink:     telem,
+			Progress: obs.NewProgress(os.Stderr, obs.SystemClock()),
+		})
+		scn.Obs = o
+	}
+	if *pprofAddr != "" {
+		bound, err := obs.ServeDebug(*pprofAddr, o.Registry())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cbmasim: debug endpoint at http://%s/debug/pprof/ (registry at /debug/vars)\n", bound)
+	}
+	// finishObs flushes the event sink and writes the run manifest; it is
+	// called on every exit path so a SIGINT leaves a complete (partial,
+	// Interrupted) telemetry record next to the partial metrics.
+	finishObs := func(result any, interrupted bool) error {
+		if o == nil {
+			return nil
+		}
+		err := telem.Close()
+		if !*obsOn {
+			return err
+		}
+		man := o.Manifest("cbmasim")
+		man.Seed = *seed
+		man.Workers = scn.Workers
+		man.Interrupted = interrupted
+		man.Result = result
+		hscn := scn
+		hscn.Obs = nil
+		if h, herr := obs.HashJSON(hscn); herr == nil {
+			man.ScenarioHash = h
+		}
+		if werr := obs.WriteManifest(filepath.Join(*obsOut, obs.ManifestFile), man); err == nil {
+			err = werr
+		}
+		return err
+	}
+
 	if *faultSweep != "" {
 		rates, err := parseRates(*sweepRates)
 		if err != nil {
 			return err
 		}
-		return runFaultSweep(ctx, scn, *faultSweep, rates)
+		err = runFaultSweep(ctx, scn, *faultSweep, rates)
+		interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
+		if oerr := finishObs(nil, interrupted); err == nil {
+			err = oerr
+		}
+		return err
 	}
 
 	sys, err := cbma.NewSystem(cbma.SystemConfig{Scenario: scn, NodeSelection: *nodeSel})
@@ -213,6 +281,7 @@ func run(ctx context.Context, args []string) error {
 	rep, err := sys.RunContext(ctx)
 	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
 	if err != nil && !interrupted {
+		_ = finishObs(nil, false) // best effort: the run died on a config error
 		return err
 	}
 	if recorder != nil {
@@ -259,9 +328,12 @@ func run(ctx context.Context, args []string) error {
 	}
 	if interrupted {
 		fmt.Println("  interrupted — metrics above cover the rounds committed before SIGINT")
+		if oerr := finishObs(m, true); oerr != nil {
+			fmt.Fprintln(os.Stderr, "cbmasim: flushing telemetry:", oerr)
+		}
 		return err
 	}
-	return nil
+	return finishObs(m, false)
 }
 
 // runFaultSweep runs the BER-vs-fault-rate curve for one knob and prints it

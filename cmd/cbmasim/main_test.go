@@ -1,6 +1,11 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -47,6 +52,71 @@ func TestParseFaultProfileErrors(t *testing.T) {
 		if _, err := parseFaultProfile(spec); err == nil || !strings.Contains(err.Error(), frag) {
 			t.Errorf("parseFaultProfile(%q) = %v, want error containing %q", spec, err, frag)
 		}
+	}
+}
+
+// readManifest decodes the fields of dir/manifest.json the tests assert on.
+func readManifest(t *testing.T, dir string) (man struct {
+	Tool        string `json:"tool"`
+	Interrupted bool   `json:"interrupted"`
+	Events      struct {
+		Written int64 `json:"written"`
+	} `json:"events"`
+}) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &man); err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
+func TestRunWritesObsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	err := run(context.Background(), []string{
+		"-tags", "2", "-packets", "10", "-obs", "-obs-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := os.ReadFile(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), `"type":"round"`) {
+		t.Error("event log has no round events")
+	}
+	man := readManifest(t, dir)
+	if man.Tool != "cbmasim" || man.Interrupted {
+		t.Errorf("manifest = %+v, want tool cbmasim and not interrupted", man)
+	}
+	if man.Events.Written == 0 {
+		t.Error("manifest records zero written events")
+	}
+}
+
+// TestRunObsFlushOnInterrupt pins the SIGINT contract: a cancelled run still
+// flushes the pending telemetry events and writes a partial manifest marked
+// interrupted, alongside the partial-metrics flush.
+func TestRunObsFlushOnInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal fired before the run — the extreme partial case
+	err := run(ctx, []string{
+		"-tags", "2", "-packets", "50", "-obs", "-obs-out", dir,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "events.jsonl")); err != nil {
+		t.Fatalf("event log not flushed: %v", err)
+	}
+	man := readManifest(t, dir)
+	if !man.Interrupted {
+		t.Errorf("manifest not marked interrupted: %+v", man)
 	}
 }
 

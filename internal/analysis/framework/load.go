@@ -129,6 +129,12 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
+	// Standard-library vendored dependencies (net/http → crypto/tls →
+	// golang.org/x/crypto/…) are listed by `go list` under a vendor/ prefix
+	// but imported by their unvendored path.
+	if p, ok := l.pkgs["vendor/"+path]; ok {
+		return p, nil
+	}
 	return nil, fmt.Errorf("package %q not loaded (dependency order violated?)", path)
 }
 

@@ -44,6 +44,7 @@ var scope = []string{
 	"cbma/internal/pn",
 	"cbma/internal/stats",
 	"cbma/internal/trace",
+	"cbma/internal/obs",
 }
 
 func inScope(path string) bool {

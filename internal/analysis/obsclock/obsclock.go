@@ -1,0 +1,122 @@
+// Package obsclock closes the loophole nodeterm's call-site check leaves
+// open: nodeterm flags `time.Now()` as a call, but `f := time.Now; f()`
+// smuggles the wall clock past it as a value. This analyzer flags any
+// reference to a time-package clock function in non-call position —
+// assignment, argument, struct literal field, return value — inside the
+// determinism scope plus the telemetry layer itself. Telemetry must receive
+// time through an injected obs.Clock; the single sanctioned capture lives in
+// obs.SystemClock and carries a reviewed //cbma:allow obsclock directive.
+package obsclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the obsclock check.
+var Analyzer = &framework.Analyzer{
+	Name: "obsclock",
+	Doc:  "forbid capturing time-package clock functions as values; inject an obs.Clock instead",
+	Run:  run,
+}
+
+// scope is nodeterm's determinism scope plus cbma/internal/obs: the
+// telemetry layer may *hold* a clock but must receive it injected, so even
+// there a raw time.Now capture is a finding. cmd/* binaries stay exempt —
+// they are where the injection happens. Packages outside the cbma module
+// (the analyzer's own test fixtures) are always in scope.
+var scope = []string{
+	"cbma/internal/sim",
+	"cbma/internal/fault",
+	"cbma/internal/rx",
+	"cbma/internal/channel",
+	"cbma/internal/mac",
+	"cbma/internal/baseline",
+	"cbma/internal/core",
+	"cbma/internal/geom",
+	"cbma/internal/tag",
+	"cbma/internal/dsp",
+	"cbma/internal/frame",
+	"cbma/internal/pn",
+	"cbma/internal/stats",
+	"cbma/internal/trace",
+	"cbma/internal/obs",
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "cbma") {
+		return true // analyzer fixtures
+	}
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// clockFuncs are the time-package functions whose value captures the wall
+// clock (or the runtime timer) — the same set nodeterm forbids calling.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// First pass: remember every identifier that is the callee of a call
+		// expression — direct calls are nodeterm's findings, not ours.
+		callees := map[*ast.Ident]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callees[fun] = true
+			case *ast.SelectorExpr:
+				callees[fun.Sel] = true
+			}
+			return true
+		})
+		// Second pass: any remaining use of a clock function is a value
+		// capture.
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || callees[id] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Method values (t.Sub, t.Add) are pure arithmetic on an existing
+			// Time; only package-level clock reads are the hazard.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if !clockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"time.%s captured as a value: telemetry must receive time through an injected obs.Clock (see internal/obs/clock.go)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package bad exercises every obsclock finding: time-package clock
+// functions captured as values — assigned, passed as arguments, stored in
+// struct fields, or returned — all of which smuggle the wall clock past
+// nodeterm's call-site check.
+package bad
+
+import "time"
+
+func assigned() time.Time {
+	f := time.Now // want "time.Now captured as a value"
+	return f()
+}
+
+func passed(measure func(time.Time) time.Duration) time.Duration {
+	return measure(time.Time{})
+}
+
+func caller() time.Duration {
+	return passed(time.Since) // want "time.Since captured as a value"
+}
+
+type timers struct {
+	sleep func(time.Duration)
+	tick  func(time.Duration) <-chan time.Time
+}
+
+func stored() timers {
+	return timers{
+		sleep: time.Sleep, // want "time.Sleep captured as a value"
+		tick:  time.Tick,  // want "time.Tick captured as a value"
+	}
+}
+
+func returned() func() time.Time {
+	return time.Now // want "time.Now captured as a value"
+}

@@ -1,0 +1,40 @@
+// Package good holds code obsclock accepts: injected clock values, method
+// values on existing Times, non-clock time functions as values, and a
+// reviewed suppression. Direct clock calls are nodeterm's findings, not
+// obsclock's, so they pass here too.
+package good
+
+import "time"
+
+// Clock mirrors the telemetry layer's injected clock type.
+type Clock func() time.Time
+
+type observer struct {
+	clock Clock
+}
+
+// inject receives the clock as a value from the caller — the sanctioned
+// pattern: the capture happened at the composition root, not here.
+func inject(c Clock) observer {
+	return observer{clock: c}
+}
+
+func (o observer) elapsed(start time.Time) time.Duration {
+	return o.clock().Sub(start)
+}
+
+func methodValue(t time.Time) func(time.Time) time.Duration {
+	return t.Sub // method value on an existing Time: arithmetic, not a clock read
+}
+
+func nonClock() func(sec int64, nsec int64) time.Time {
+	return time.Unix // pure constructor, no wall-clock dependency
+}
+
+func directCall() time.Time {
+	return time.Now() // direct call: nodeterm's finding, not obsclock's
+}
+
+func suppressed() Clock {
+	return time.Now //cbma:allow obsclock fixture demonstrates the suppression directive
+}

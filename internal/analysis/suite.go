@@ -10,6 +10,7 @@ import (
 	"cbma/internal/analysis/hotalloc"
 	"cbma/internal/analysis/inplacealias"
 	"cbma/internal/analysis/nodeterm"
+	"cbma/internal/analysis/obsclock"
 	"cbma/internal/analysis/rngpurpose"
 )
 
@@ -17,6 +18,7 @@ import (
 func Suite() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		nodeterm.Analyzer,
+		obsclock.Analyzer,
 		rngpurpose.Analyzer,
 		hotalloc.Analyzer,
 		inplacealias.Analyzer,

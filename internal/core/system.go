@@ -96,6 +96,11 @@ func New(cfg Config) (*System, error) {
 		// raw config here used to replace a configured layout with the stock
 		// two-node geometry whenever the room was left zero.
 		dep := e.Scenario().Deployment
+		if cfg.NodeSelect.Obs == nil {
+			// Node selection shares the scenario's observer by default, so a
+			// single Scenario.Obs instruments the whole closed loop.
+			cfg.NodeSelect.Obs = cfg.Scenario.Obs
+		}
 		s.selector = mac.NewNodeSelector(cfg.NodeSelect, e.Scenario().Channel, dep, s.rng)
 		// Draw the idle-tag candidate pool once; §V-C replaces bad tags
 		// with idle tags already present in the environment.

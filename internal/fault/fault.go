@@ -209,6 +209,38 @@ func (c *Counters) Merge(o Counters) {
 // Any reports whether any fault fired.
 func (c Counters) Any() bool { return c != Counters{} }
 
+// Total sums the per-event counters — everything except StuckTags, which is
+// a population property, not a firing.
+func (c Counters) Total() int {
+	return c.EnergyOutages + c.DeepFades + c.Bursts +
+		c.AcksLost + c.AcksCorrupted + c.SpuriousAcks +
+		c.InjectedPanics + c.TransientErrors
+}
+
+// Fields returns the nonzero counters keyed by name, shaped for telemetry
+// event sinks (obs.Event fields). Nil when nothing fired.
+func (c Counters) Fields() map[string]any {
+	if !c.Any() {
+		return nil
+	}
+	f := map[string]any{}
+	put := func(name string, v int) {
+		if v != 0 {
+			f[name] = v
+		}
+	}
+	put("stuck_tags", c.StuckTags)
+	put("energy_outages", c.EnergyOutages)
+	put("deep_fades", c.DeepFades)
+	put("bursts", c.Bursts)
+	put("acks_lost", c.AcksLost)
+	put("acks_corrupted", c.AcksCorrupted)
+	put("spurious_acks", c.SpuriousAcks)
+	put("injected_panics", c.InjectedPanics)
+	put("transient_errors", c.TransientErrors)
+	return f
+}
+
 // String renders the non-zero counters.
 func (c Counters) String() string {
 	return fmt.Sprintf(

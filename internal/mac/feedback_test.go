@@ -28,8 +28,11 @@ func TestFeedbackBlackoutRetriesThenFallsBack(t *testing.T) {
 		before[i] = tg.Impedance()
 	}
 
-	// Retries 1 and 2: uncharged, growing backoff, no actuation.
-	for retry, wantBackoff := range map[int]int{1: 1, 2: 2} {
+	// Retries 1 and 2: uncharged, growing backoff, no actuation. The Round
+	// calls are sequential, so the expectations must be visited in order
+	// (ranging a map here made the test flake on iteration order).
+	for retry := 1; retry <= 2; retry++ {
+		wantBackoff := retry
 		blackout(tags, 10)
 		out, err := pc.Round(tags)
 		if err != nil {

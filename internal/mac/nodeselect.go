@@ -7,6 +7,7 @@ import (
 
 	"cbma/internal/channel"
 	"cbma/internal/geom"
+	"cbma/internal/obs"
 	"cbma/internal/tag"
 )
 
@@ -31,6 +32,9 @@ type NodeSelectConfig struct {
 	// Greedy disables the annealing acceptance entirely (ablation 3 in
 	// DESIGN.md): only strictly better candidates are taken.
 	Greedy bool
+	// Obs, when non-nil, receives node-selection telemetry (proposal/move
+	// counters and "node_move" events). Strictly observational.
+	Obs *obs.Observer
 }
 
 func (c NodeSelectConfig) withDefaults() NodeSelectConfig {
@@ -57,13 +61,20 @@ type NodeSelector struct {
 	dep    geom.Deployment
 	temp   float64
 	rng    *rand.Rand
+	// Pre-resolved telemetry instruments (no-ops when cfg.Obs is nil).
+	o          *obs.Observer
+	cProposals *obs.Counter
+	cMoves     *obs.Counter
 }
 
 // NewNodeSelector builds a selector for the given radio parameters and
 // deployment geometry.
 func NewNodeSelector(cfg NodeSelectConfig, params channel.Params, dep geom.Deployment, rng *rand.Rand) *NodeSelector {
 	c := cfg.withDefaults()
-	return &NodeSelector{cfg: c, params: params, dep: dep, temp: c.InitialTemp, rng: rng}
+	ns := &NodeSelector{cfg: c, params: params, dep: dep, temp: c.InitialTemp, rng: rng, o: c.Obs}
+	ns.cProposals = ns.o.Counter("mac.select.proposals")
+	ns.cMoves = ns.o.Counter("mac.select.moves")
+	return ns
 }
 
 // Strength returns the theoretical received signal strength (watts) of a
@@ -123,16 +134,40 @@ func (ns *NodeSelector) Replace(badPos geom.Point, candidates, active []geom.Poi
 	cur := ns.Strength(badPos)
 	next := ns.Strength(cand)
 	accept := next >= cur
+	improving := accept
 	if !accept && !ns.cfg.Greedy {
 		// Normalize the loss so the acceptance probability is scale-free.
 		delta := (cur - next) / math.Max(cur, 1e-30)
 		accept = ns.rng.Float64() < math.Exp(-delta/ns.temp)
 	}
+	ns.observe(accept, improving, cur, next)
 	ns.temp *= ns.cfg.Cooling
 	if !accept {
 		return badPos, false, nil
 	}
 	return cand, true, nil
+}
+
+// observe records one Replace proposal on the injected observer. Pure
+// telemetry — it reads the decision after it is made, never shapes it.
+func (ns *NodeSelector) observe(accept, improving bool, cur, next float64) {
+	ns.cProposals.Inc()
+	if accept {
+		ns.cMoves.Inc()
+	}
+	if !ns.o.EmitsEvents() {
+		return
+	}
+	f := map[string]any{
+		"accepted":   accept,
+		"strength_w": next,
+		"current_w":  cur,
+		"temp":       ns.temp,
+	}
+	if accept && !improving {
+		f["annealed"] = true
+	}
+	ns.o.Emit("node_move", f)
 }
 
 // GradientMove climbs the theoretical signal-strength field from p by step

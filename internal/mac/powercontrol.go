@@ -11,6 +11,7 @@ import (
 
 	"cbma/internal/channel"
 	"cbma/internal/geom"
+	"cbma/internal/obs"
 	"cbma/internal/tag"
 )
 
@@ -49,6 +50,10 @@ type PowerControlConfig struct {
 	// selects each tag's strongest state (the power-up default, the setting
 	// most likely to be decodable without feedback).
 	FallbackState tag.ImpedanceState
+	// Obs, when non-nil, receives per-round power-control telemetry
+	// (counters and "power_control" events). Strictly observational: the
+	// controller's decisions never depend on it.
+	Obs *obs.Observer
 }
 
 func (c PowerControlConfig) withDefaults() PowerControlConfig {
@@ -79,6 +84,10 @@ type PowerController struct {
 	// round resets it. fellBack latches the one-time fallback parking.
 	retriesUsed int
 	fellBack    bool
+	// Pre-resolved telemetry instruments (no-ops when cfg.Obs is nil).
+	o         *obs.Observer
+	cRounds   *obs.Counter
+	cAdjusted *obs.Counter
 }
 
 // NewPowerController returns a controller for a population of numTags tags.
@@ -87,7 +96,10 @@ func NewPowerController(cfg PowerControlConfig, numTags int) (*PowerController, 
 		return nil, ErrNoTags
 	}
 	c := cfg.withDefaults()
-	return &PowerController{cfg: c, maxRounds: c.MaxRoundsFactor * numTags}, nil
+	pc := &PowerController{cfg: c, maxRounds: c.MaxRoundsFactor * numTags, o: c.Obs}
+	pc.cRounds = pc.o.Counter("mac.pc.rounds")
+	pc.cAdjusted = pc.o.Counter("mac.pc.adjustments")
+	return pc, nil
 }
 
 // RoundsUsed reports how many adjustment rounds have run.
@@ -155,6 +167,42 @@ func (pc *PowerController) Round(tags []*tag.Tag) (RoundOutcome, error) {
 	if len(tags) == 0 {
 		return RoundOutcome{}, ErrNoTags
 	}
+	out, err := pc.round(tags)
+	pc.observe(out)
+	return out, err
+}
+
+// observe records the outcome of one controller invocation on the injected
+// observer: counters for invocation and adjustment totals, and a
+// "power_control" event with the decision flags. Pure telemetry — it reads
+// the outcome, never shapes it.
+func (pc *PowerController) observe(out RoundOutcome) {
+	pc.cRounds.Inc()
+	pc.cAdjusted.Add(int64(len(out.Adjusted)))
+	if !pc.o.EmitsEvents() {
+		return
+	}
+	f := map[string]any{"fer": out.FER, "adjusted": len(out.Adjusted)}
+	if out.Converged {
+		f["converged"] = true
+	}
+	if out.Exhausted {
+		f["exhausted"] = true
+	}
+	if out.FeedbackLost {
+		f["feedback_lost"] = true
+	}
+	if out.RetryBackoff > 0 {
+		f["retry_backoff"] = out.RetryBackoff
+	}
+	if out.FellBack {
+		f["fell_back"] = true
+	}
+	pc.o.Emit("power_control", f)
+}
+
+// round is Round's decision body; the public wrapper adds telemetry.
+func (pc *PowerController) round(tags []*tag.Tag) (RoundOutcome, error) {
 	var out RoundOutcome
 	var sum float64
 	sent, acked := 0, 0

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies timestamps to the telemetry layer. Everything in obs that
+// reads time reads it through a Clock, which is the seam that keeps the
+// determinism contract intact: binaries inject SystemClock(), tests inject a
+// StepClock, and the simulation result path never sees either.
+type Clock func() time.Time
+
+// SystemClock returns the wall clock, for use by cmd/ binaries only. This is
+// the single place in library code where time.Now is referenced; the
+// obsclock analyzer forbids capturing it anywhere else.
+func SystemClock() Clock {
+	return time.Now //cbma:allow obsclock the one sanctioned wall-clock capture; binaries inject it
+}
+
+// StepClock returns a deterministic clock that starts at start and advances
+// by step on every read. Concurrent reads observe distinct, monotonically
+// increasing times, which makes span durations and ETAs reproducible in
+// tests.
+func StepClock(start time.Time, step time.Duration) Clock {
+	var n atomic.Int64
+	return func() time.Time {
+		return start.Add(time.Duration(n.Add(1)-1) * step)
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets is the fixed bucket count: bucket 0 holds non-positive values,
+// bucket i (1..64) holds values in [2^(i-1), 2^i). Log-spaced buckets cover
+// the full int64 range (nanoseconds from 1ns to ~292y) with no configuration
+// and make snapshots from different runs mergeable by construction.
+const numBuckets = 65
+
+// Histogram is a lock-free log2-bucketed histogram. Observe is a few atomic
+// adds — safe to call from every round worker concurrently — and all methods
+// are nil-receiver-safe no-ops so instrumented code needs no enablement
+// branches.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketIndex maps a value to its log2 bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the inclusive lower bound of bucket i (0 for the
+// non-positive bucket).
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	if h.count.Add(1) == 1 {
+		// First observation seeds min/max; racing observers fix up below.
+		h.min.Store(v)
+		h.max.Store(v)
+		return
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot captures the histogram into a mergeable value.
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  name,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Low: BucketLow(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Bucket is one populated histogram bucket in a snapshot: Count observations
+// at values >= Low (and below the next bucket's Low).
+type Bucket struct {
+	Low   int64 `json:"low"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is an immutable, mergeable capture of a Histogram.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// merge combines two snapshots of the same histogram name.
+func (s HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	out := HistogramSnapshot{
+		Name:  s.Name,
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   min(s.Min, o.Min),
+		Max:   max(s.Max, o.Max),
+	}
+	byLow := map[int64]int64{}
+	for _, b := range s.Buckets {
+		byLow[b.Low] += b.Count
+	}
+	for _, b := range o.Buckets {
+		byLow[b.Low] += b.Count
+	}
+	lows := make([]int64, 0, len(byLow))
+	for low := range byLow {
+		lows = append(lows, low)
+	}
+	sortInt64s(lows)
+	for _, low := range lows {
+		out.Buckets = append(out.Buckets, Bucket{Low: low, Count: byLow[low]})
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// StageTime is one row of the manifest's per-stage time breakdown, derived
+// from every "*_ns" histogram in the registry.
+type StageTime struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	MeanNs  int64  `json:"mean_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// EventStats summarizes sink throughput for the manifest.
+type EventStats struct {
+	Written int64 `json:"written"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Manifest is the machine-readable record written next to a run's results so
+// BENCH_*.json entries are reproducible artifacts: it pins the binary
+// version, Go toolchain, seed, worker count and a hash of the scenario, and
+// carries the per-stage time breakdown plus the full registry snapshot.
+type Manifest struct {
+	Tool         string      `json:"tool"`
+	Version      string      `json:"version"`
+	GoVersion    string      `json:"go_version"`
+	OS           string      `json:"os"`
+	Arch         string      `json:"arch"`
+	StartedAt    time.Time   `json:"started_at"`
+	WallNs       int64       `json:"wall_ns"`
+	Seed         int64       `json:"seed,omitempty"`
+	Workers      int         `json:"workers,omitempty"`
+	ScenarioHash string      `json:"scenario_hash,omitempty"`
+	Config       any         `json:"config,omitempty"`
+	Interrupted  bool        `json:"interrupted,omitempty"`
+	Stages       []StageTime `json:"stages,omitempty"`
+	Result       any         `json:"result,omitempty"`
+	Events       EventStats  `json:"events"`
+	Registry     Snapshot    `json:"registry"`
+}
+
+// Manifest assembles the environment, timing and registry portions of a run
+// manifest; the caller fills in Seed, Workers, ScenarioHash, Config, Result
+// and Interrupted before writing it out.
+func (o *Observer) Manifest(tool string) Manifest {
+	m := Manifest{
+		Tool:      tool,
+		Version:   Version(),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if o != nil {
+		m.StartedAt = o.start
+		m.WallNs = int64(o.clock().Sub(o.start))
+		snap := o.reg.Snapshot()
+		m.Registry = snap
+		m.Stages = stageBreakdown(snap)
+		if o.sink != nil {
+			m.Events = EventStats{Written: o.sink.Written(), Dropped: o.sink.Dropped()}
+		}
+	}
+	return m
+}
+
+// stageBreakdown extracts the per-stage time table from every nanosecond
+// histogram in the snapshot (registry convention: timing histograms end in
+// "_ns").
+func stageBreakdown(s Snapshot) []StageTime {
+	var out []StageTime
+	for _, h := range s.Histograms {
+		if len(h.Name) < 3 || h.Name[len(h.Name)-3:] != "_ns" {
+			continue
+		}
+		out = append(out, StageTime{
+			Name:    h.Name[:len(h.Name)-3],
+			Count:   h.Count,
+			TotalNs: h.Sum,
+			MeanNs:  h.Mean(),
+			MaxNs:   h.Max,
+		})
+	}
+	return out
+}
+
+// Version reports a git-describe-style identifier for the running binary:
+// the embedded VCS revision (truncated, "+dirty" when the tree was modified)
+// when built from a checkout, else the module version, else "unknown".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}
+
+// HashJSON returns a short stable fingerprint of v's JSON encoding, used to
+// hash scenarios into manifests (encoding/json sorts map keys and struct
+// fields are ordered, so equal configurations hash equally).
+func HashJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// WriteManifest writes m as indented JSON to path.
+func WriteManifest(path string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

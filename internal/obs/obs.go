@@ -1,0 +1,193 @@
+// Package obs is the simulator's zero-dependency telemetry layer: an atomic
+// counter/gauge/histogram registry with mergeable snapshots, lightweight
+// spans for timing pipeline stages, a ring-buffered JSONL event sink, a live
+// campaign progress line, and a machine-readable run-manifest writer.
+//
+// Telemetry is strictly observational and lives on the opposite side of the
+// determinism contract from results (DESIGN.md, "Observability"): telemetry
+// may read time — through an injected Clock, never the wall clock directly —
+// while results may not. Nothing in this package consumes simulation
+// randomness or feeds sim.Metrics, so a run's Metrics are bit-identical with
+// an Observer attached or absent, at any worker count (enforced by
+// sim.TestRunObsEquivalence and the nodeterm/obsclock analyzers).
+//
+// Every instrument is nil-safe: a nil *Observer, *Counter, *Gauge or
+// *Histogram turns the corresponding call into a no-op, so instrumented code
+// carries no "is telemetry on" branches of its own.
+package obs
+
+import "time"
+
+// Config parameterizes New.
+type Config struct {
+	// Clock supplies every timestamp the observer reads. Nil selects the
+	// zero clock (all spans and ETAs read as zero); binaries pass
+	// SystemClock(), tests pass StepClock for reproducible timings.
+	Clock Clock
+	// Sink, when non-nil, receives the structured events (round lifecycle,
+	// fault firings, power-control decisions, node-selection moves).
+	Sink *Sink
+	// Progress, when non-nil, renders the live campaign progress line.
+	Progress *Progress
+}
+
+// Observer bundles the registry, clock, event sink and progress line that
+// instrumented code reports into. A single Observer is shared by every
+// goroutine of a run (engines, round workers, campaign points); all its
+// instruments are concurrency-safe.
+type Observer struct {
+	clock Clock
+	start time.Time
+	reg   *Registry
+	sink  *Sink
+	prog  *Progress
+}
+
+// New builds an observer with a fresh registry.
+func New(cfg Config) *Observer {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
+	return &Observer{
+		clock: clock,
+		start: clock(),
+		reg:   NewRegistry(),
+		sink:  cfg.Sink,
+		prog:  cfg.Progress,
+	}
+}
+
+// Registry exposes the observer's metric registry (nil for a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Sink exposes the observer's event sink, if any.
+func (o *Observer) Sink() *Sink {
+	if o == nil {
+		return nil
+	}
+	return o.sink
+}
+
+// Now reads the injected clock (zero time for a nil observer).
+func (o *Observer) Now() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.clock()
+}
+
+// Started is the observer's construction time on its own clock — the run
+// epoch that event timestamps are relative to.
+func (o *Observer) Started() time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return o.start
+}
+
+// Counter returns the named registry counter (nil for a nil observer).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Counter(name)
+}
+
+// Gauge returns the named registry gauge (nil for a nil observer).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge(name)
+}
+
+// Histogram returns the named registry histogram (nil for a nil observer).
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Histogram(name)
+}
+
+// Span is an in-flight timing measurement. It is a plain value — starting
+// and ending a span allocates nothing, which keeps spans admissible inside
+// //cbma:hotpath functions.
+type Span struct {
+	clock Clock
+	h     *Histogram
+	start time.Time
+}
+
+// Start opens a span that records its duration (in nanoseconds) into h when
+// ended. A nil observer or histogram yields an inert span.
+func (o *Observer) Start(h *Histogram) Span {
+	if o == nil || h == nil {
+		return Span{}
+	}
+	return Span{clock: o.clock, h: h, start: o.clock()}
+}
+
+// End closes the span, observing the elapsed nanoseconds.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(int64(s.clock().Sub(s.start)))
+}
+
+// EmitsEvents reports whether Emit will actually deliver — callers use it to
+// skip building event field maps when no sink is attached.
+func (o *Observer) EmitsEvents() bool {
+	return o != nil && o.sink != nil
+}
+
+// Emit timestamps an event against the run epoch and hands it to the sink.
+// No-op without a sink; never blocks (see Sink.Emit).
+func (o *Observer) Emit(typ string, fields map[string]any) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	o.sink.Emit(Event{T: int64(o.clock().Sub(o.start)), Type: typ, Fields: fields})
+}
+
+// CampaignStart begins a progress segment of total points and emits the
+// campaign_start event. Campaigns are sequential per observer; the progress
+// line resets for each.
+func (o *Observer) CampaignStart(what string, total int) {
+	if o == nil {
+		return
+	}
+	if o.EmitsEvents() {
+		o.Emit("campaign_start", map[string]any{"what": what, "points": total})
+	}
+	if o.prog != nil {
+		o.prog.Start(what, total)
+	}
+}
+
+// CampaignPoint advances the progress line by one completed point.
+func (o *Observer) CampaignPoint() {
+	if o == nil || o.prog == nil {
+		return
+	}
+	o.prog.Step()
+}
+
+// CampaignEnd closes the progress segment and emits the campaign_end event.
+func (o *Observer) CampaignEnd(what string) {
+	if o == nil {
+		return
+	}
+	if o.prog != nil {
+		o.prog.Finish()
+	}
+	if o.EmitsEvents() {
+		o.Emit("campaign_end", map[string]any{"what": what})
+	}
+}

@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every instrument must no-op on nil so instrumented code carries no
+	// enablement branches.
+	var o *Observer
+	o.Counter("c").Inc()
+	o.Gauge("g").Set(7)
+	o.Histogram("h").Observe(42)
+	o.Start(o.Histogram("h")).End()
+	o.Emit("x", nil)
+	o.CampaignStart("sweep", 3)
+	o.CampaignPoint()
+	o.CampaignEnd("sweep")
+	if o.EmitsEvents() {
+		t.Fatal("nil observer claims to emit events")
+	}
+	if got := o.Registry().Snapshot(); !reflect.DeepEqual(got, Snapshot{}) {
+		t.Fatalf("nil registry snapshot = %+v", got)
+	}
+	var s *Sink
+	s.Emit(Event{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil sink Close: %v", err)
+	}
+	var p *Progress
+	p.Start("x", 1)
+	p.Step()
+	p.Finish()
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	o := New(Config{})
+	c := o.Counter("sim.rounds")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := o.Counter("sim.rounds"); c2 != c {
+		t.Fatal("registry did not return the same counter instance")
+	}
+	g := o.Gauge("workers")
+	g.Set(8)
+	if got := g.Value(); got != 8 {
+		t.Fatalf("gauge = %d, want 8", got)
+	}
+	h := o.Histogram("stage_ns")
+	for _, v := range []int64{1, 2, 3, 1024, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("histogram count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 1025 {
+		t.Fatalf("histogram sum = %d, want 1025", got)
+	}
+	snap := o.Registry().Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("got %d histograms", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.Min != -5 || hs.Max != 1024 {
+		t.Fatalf("min/max = %d/%d, want -5/1024", hs.Min, hs.Max)
+	}
+	// Buckets: -5→low 0; 1→[1,2); 2,3→[2,4); 1024→[1024,2048).
+	want := []Bucket{{0, 1}, {1, 1}, {2, 2}, {1024, 1}}
+	if !reflect.DeepEqual(hs.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", hs.Buckets, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	s := h.snapshot("x")
+	if s.Min != 1 || s.Max != workers*per {
+		t.Fatalf("min/max = %d/%d, want 1/%d", s.Min, s.Max, workers*per)
+	}
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != workers*per {
+		t.Fatalf("bucket total = %d, want %d", n, workers*per)
+	}
+}
+
+// randomSnapshot builds a snapshot from a bounded pool of instrument names so
+// merges genuinely overlap.
+func randomSnapshot(rng *rand.Rand) Snapshot {
+	r := NewRegistry()
+	names := []string{"a", "b", "c_ns", "d_ns"}
+	for i, n := 0, rng.Intn(20); i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			r.Counter(names[rng.Intn(len(names))]).Add(int64(rng.Intn(100)))
+		case 1:
+			r.Gauge(names[rng.Intn(len(names))]).Set(int64(rng.Intn(100)))
+		default:
+			r.Histogram(names[rng.Intn(len(names))]).Observe(int64(rng.Intn(1 << 20)))
+		}
+	}
+	return r.Snapshot()
+}
+
+// TestSnapshotMergeProperties is the registry analogue of the sim package's
+// TestMetricsMergeProperties: snapshot merge must be commutative and
+// associative so per-shard registries fold identically in any order.
+func TestSnapshotMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomSnapshot(rng), randomSnapshot(rng), randomSnapshot(rng)
+		ab, ba := a.Merge(b), b.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\na.b=%+v\nb.a=%+v", trial, ab, ba)
+		}
+		left, right := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative:\n(ab)c=%+v\na(bc)=%+v", trial, left, right)
+		}
+		if !reflect.DeepEqual(a.Merge(Snapshot{}), a) {
+			t.Fatalf("trial %d: empty snapshot is not an identity", trial)
+		}
+	}
+}
+
+// TestSnapshotMergeEqualsSingleRegistry checks the partition property: the
+// merge of per-shard snapshots equals the snapshot of one registry that saw
+// every observation.
+func TestSnapshotMergeEqualsSingleRegistry(t *testing.T) {
+	whole := NewRegistry()
+	shards := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		shard := shards[rng.Intn(len(shards))]
+		v := int64(rng.Intn(1 << 16))
+		switch rng.Intn(2) {
+		case 0:
+			shard.Counter("n").Add(v)
+			whole.Counter("n").Add(v)
+		default:
+			shard.Histogram("t_ns").Observe(v)
+			whole.Histogram("t_ns").Observe(v)
+		}
+	}
+	merged := Snapshot{}
+	for _, s := range shards {
+		merged = merged.Merge(s.Snapshot())
+	}
+	if want := whole.Snapshot(); !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged shards != whole registry:\nmerged=%+v\nwhole=%+v", merged, want)
+	}
+}
+
+func TestSpanTiming(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	o := New(Config{Clock: StepClock(epoch, time.Millisecond)})
+	h := o.Histogram("stage_ns")
+	sp := o.Start(h)
+	sp.End() // exactly one clock tick apart
+	if got := h.Sum(); got != int64(time.Millisecond) {
+		t.Fatalf("span recorded %d ns, want %d", got, int64(time.Millisecond))
+	}
+}
+
+func TestSinkWritesJSONLAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf, 16)
+	s.Emit(Event{T: 5, Type: "round", Fields: map[string]any{"round": 1, "acked": 2}})
+	s.Emit(Event{T: 9, Type: "campaign_end"})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if s.Written() != 2 || s.Dropped() != 0 {
+		t.Fatalf("written/dropped = %d/%d, want 2/0", s.Written(), s.Dropped())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.T != 5 || ev.Type != "round" || ev.Fields["round"] != float64(1) {
+		t.Fatalf("decoded event = %+v", ev)
+	}
+	// Emit after close must drop, not panic.
+	s.Emit(Event{Type: "late"})
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped after close = %d, want 1", s.Dropped())
+	}
+}
+
+// blockingWriter blocks writes until released, letting the test fill the ring.
+type blockingWriter struct{ release chan struct{} }
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return len(p), nil
+}
+
+func TestSinkDropsWhenFull(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	s := NewSink(w, 2)
+	// Events larger than bufio's buffer force a Write per event, so the
+	// consumer blocks on the first one and the ring (capacity 2) must drop.
+	payload := strings.Repeat("x", 8192)
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{T: int64(i), Fields: map[string]any{"pad": payload}})
+	}
+	if s.Dropped() == 0 {
+		t.Fatal("expected drops with a full ring")
+	}
+	close(w.release)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := s.Written() + s.Dropped(); got != 10 {
+		t.Fatalf("written+dropped = %d, want 10", got)
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	clock := StepClock(time.Unix(0, 0), time.Second)
+	p := NewProgress(&buf, clock)
+	p.Start("fig8a", 4)
+	p.Step()
+	p.Step()
+	p.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "fig8a: 2/4 points ( 50%)") {
+		t.Fatalf("progress output missing done/total: %q", out)
+	}
+	if !strings.Contains(out, "eta") {
+		t.Fatalf("progress output missing ETA: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not terminate the line: %q", out)
+	}
+	// Finish twice must not print twice.
+	n := len(buf.String())
+	p.Finish()
+	if buf.Len() != n {
+		t.Fatal("second Finish wrote output")
+	}
+}
+
+func TestObserverEmitUsesRunEpoch(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSink(&buf, 8)
+	clock := StepClock(time.Unix(100, 0), time.Second)
+	o := New(Config{Clock: clock, Sink: sink})
+	o.Emit("tick", nil) // one tick after construction
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var ev Event
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &ev); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ev.T != int64(time.Second) {
+		t.Fatalf("event t_ns = %d, want %d (relative to run epoch)", ev.T, int64(time.Second))
+	}
+}
+
+func TestManifestBreakdownAndHash(t *testing.T) {
+	clock := StepClock(time.Unix(0, 0), time.Millisecond)
+	o := New(Config{Clock: clock})
+	h := o.Histogram("sim.stage.decode_ns")
+	h.Observe(100)
+	h.Observe(300)
+	o.Counter("sim.rounds.committed").Add(2)
+	m := o.Manifest("cbmasim")
+	if m.Tool != "cbmasim" || m.GoVersion == "" || m.Version == "" {
+		t.Fatalf("manifest env fields incomplete: %+v", m)
+	}
+	if len(m.Stages) != 1 {
+		t.Fatalf("stages = %+v, want one decode row", m.Stages)
+	}
+	st := m.Stages[0]
+	if st.Name != "sim.stage.decode" || st.Count != 2 || st.TotalNs != 400 || st.MeanNs != 200 || st.MaxNs != 300 {
+		t.Fatalf("stage row = %+v", st)
+	}
+	if m.WallNs <= 0 {
+		t.Fatal("manifest wall time not positive under stepping clock")
+	}
+
+	h1, err := HashJSON(map[string]any{"tags": 8, "seed": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashJSON(map[string]any{"seed": 1, "tags": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not key-order independent: %s vs %s", h1, h2)
+	}
+	h3, _ := HashJSON(map[string]any{"tags": 9, "seed": 1})
+	if h1 == h3 {
+		t.Fatal("different configs hashed equally")
+	}
+}
+
+func TestWriteManifestRoundTrips(t *testing.T) {
+	path := t.TempDir() + "/manifest.json"
+	o := New(Config{})
+	m := o.Manifest("cbmabench")
+	m.Seed = 42
+	m.Workers = 4
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if got.Seed != 42 || got.Workers != 4 || got.Tool != "cbmabench" {
+		t.Fatalf("round-trip lost fields: %+v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a single live line ("\r"-rewritten) tracking campaign
+// points done, percent, elapsed time, and an ETA extrapolated from the
+// average point duration — all read from the injected clock, so tests drive
+// it deterministically. Intended for stderr; every write is best-effort.
+type Progress struct {
+	w     io.Writer
+	clock Clock
+
+	mu     sync.Mutex
+	label  string
+	total  int
+	done   int
+	start  time.Time
+	active bool
+}
+
+// NewProgress builds a progress line writing to w on the given clock. A nil
+// clock renders without elapsed/ETA figures.
+func NewProgress(w io.Writer, clock Clock) *Progress {
+	if clock == nil {
+		clock = func() time.Time { return time.Time{} }
+	}
+	return &Progress{w: w, clock: clock}
+}
+
+// Start begins a new segment of total points, resetting the line.
+func (p *Progress) Start(label string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.label = label
+	p.total = total
+	p.done = 0
+	p.start = p.clock()
+	p.active = true
+	p.render()
+}
+
+// Step marks one point complete and redraws the line.
+func (p *Progress) Step() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.done++
+	p.render()
+}
+
+// Finish terminates the line with a newline so subsequent output starts
+// clean. Idempotent.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.render()
+	fmt.Fprintln(p.w)
+	p.active = false
+}
+
+// render redraws the line; callers hold p.mu.
+func (p *Progress) render() {
+	elapsed := p.clock().Sub(p.start)
+	pct := 0.0
+	if p.total > 0 {
+		pct = 100 * float64(p.done) / float64(p.total)
+	}
+	line := fmt.Sprintf("\r%s: %d/%d points (%3.0f%%)", p.label, p.done, p.total, pct)
+	if elapsed > 0 {
+		line += fmt.Sprintf(" elapsed %s", roundDuration(elapsed))
+		if p.done > 0 && p.done < p.total {
+			eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+			line += fmt.Sprintf(" eta %s", roundDuration(eta))
+		}
+	}
+	fmt.Fprint(p.w, line)
+}
+
+// roundDuration trims sub-perceptual precision so the line stays short.
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. Nil-receiver-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins atomic value. Nil-receiver-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a get-or-create store of named instruments. Lookup takes a
+// mutex, so instrumented code resolves its instruments once up front (see
+// sim.engineObs) and the hot path touches only the returned atomics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Value is one named scalar (counter or gauge) in a snapshot.
+type Value struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is an immutable capture of a registry, with every section sorted
+// by name so identical registries marshal to identical JSON. Snapshots merge
+// like sim.Metrics: associatively and commutatively over any partition of
+// the underlying observations (counters and histograms add; gauges keep the
+// maximum, the only merge of last-write-wins values that is order-free).
+type Snapshot struct {
+	Counters   []Value             `json:"counters,omitempty"`
+	Gauges     []Value             `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, Value{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, Value{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sortValues(s.Counters)
+	sortValues(s.Gauges)
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Merge combines two snapshots into a new one: counters and histogram
+// contents add, gauges take the maximum. Like Metrics.Merge it is
+// associative and commutative (see TestSnapshotMergeProperties), so per-shard
+// registries can be folded in any order.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	return Snapshot{
+		Counters:   mergeValues(s.Counters, o.Counters, func(a, b int64) int64 { return a + b }),
+		Gauges:     mergeValues(s.Gauges, o.Gauges, func(a, b int64) int64 { return max(a, b) }),
+		Histograms: mergeHistograms(s.Histograms, o.Histograms),
+	}
+}
+
+func mergeValues(a, b []Value, combine func(x, y int64) int64) []Value {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	byName := map[string]int64{}
+	seen := map[string]bool{}
+	for _, v := range a {
+		byName[v.Name] = v.Value
+		seen[v.Name] = true
+	}
+	for _, v := range b {
+		if seen[v.Name] {
+			byName[v.Name] = combine(byName[v.Name], v.Value)
+		} else {
+			byName[v.Name] = v.Value
+			seen[v.Name] = true
+		}
+	}
+	out := make([]Value, 0, len(byName))
+	for name, v := range byName {
+		out = append(out, Value{Name: name, Value: v})
+	}
+	sortValues(out)
+	return out
+}
+
+func mergeHistograms(a, b []HistogramSnapshot) []HistogramSnapshot {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	byName := map[string]HistogramSnapshot{}
+	for _, h := range a {
+		byName[h.Name] = h
+	}
+	for _, h := range b {
+		if prev, ok := byName[h.Name]; ok {
+			byName[h.Name] = prev.merge(h)
+		} else {
+			byName[h.Name] = h
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]HistogramSnapshot, 0, len(names))
+	for _, name := range names {
+		out = append(out, byName[name])
+	}
+	return out
+}
+
+func sortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+}
+
+func sortInt64s(vs []int64) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+// PublishExpvar exposes the registry under the given expvar name, so the
+// -pprof debug endpoint serves live instrument values at /debug/vars.
+// Publishing a name twice panics (expvar semantics), so binaries call this
+// once at startup.
+func PublishExpvar(name string, r *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,72 @@
+package obs
+
+// This file is the binaries' composition root for telemetry: the -obs-out
+// directory layout and the -pprof debug endpoint. Everything here is still
+// stdlib-only; net/http/pprof and expvar hang their handlers on the default
+// serve mux.
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File names inside an -obs-out directory.
+const (
+	// EventsFile holds the run's JSONL event stream.
+	EventsFile = "events.jsonl"
+	// ManifestFile holds the machine-readable run manifest.
+	ManifestFile = "manifest.json"
+)
+
+// FileSink creates dir (if needed) and opens dir/events.jsonl as the run's
+// event sink. Closing the sink flushes and closes the file.
+func FileSink(dir string) (*Sink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return nil, err
+	}
+	return NewSink(f, DefaultSinkBuffer), nil
+}
+
+// debugReg is the registry the expvar "cbma" variable reads through. An
+// indirection (rather than a closure over one registry) keeps repeated
+// ServeDebug calls — e.g. a command's run function invoked twice in tests —
+// from hitting expvar.Publish's duplicate-name panic.
+var (
+	debugMu      sync.Mutex
+	debugReg     *Registry
+	debugPublish sync.Once
+)
+
+// ServeDebug exposes the registry as the expvar variable "cbma" and serves
+// the net/http/pprof and expvar endpoints on addr from a background
+// goroutine, returning the bound address (addr may use port 0). Listen
+// errors surface synchronously; the serve loop itself is best-effort and
+// runs for the process lifetime.
+func ServeDebug(addr string, r *Registry) (string, error) {
+	debugMu.Lock()
+	debugReg = r
+	debugMu.Unlock()
+	debugPublish.Do(func() {
+		expvar.Publish("cbma", expvar.Func(func() any {
+			debugMu.Lock()
+			reg := debugReg
+			debugMu.Unlock()
+			return reg.Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one structured telemetry record. T is nanoseconds since the
+// observer's run epoch (its construction time on the injected clock), so
+// event timing is reproducible under a deterministic clock. Fields marshal
+// with sorted keys (encoding/json map behavior), keeping the JSONL output
+// stable for a given run.
+type Event struct {
+	T      int64          `json:"t_ns"`
+	Type   string         `json:"type"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Sink writes events as JSON Lines through a bounded ring: Emit never blocks
+// the simulation — when the buffer is full the event is dropped and counted
+// instead. A single writer goroutine owns the encoder, and Close drains and
+// flushes everything buffered, which is what makes the SIGINT path safe: the
+// interrupt handler closes the sink before writing the manifest.
+type Sink struct {
+	w       io.Writer
+	events  chan Event
+	done    chan struct{}
+	written atomic.Int64
+	dropped atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// DefaultSinkBuffer is the event ring capacity used when NewSink is given a
+// non-positive one.
+const DefaultSinkBuffer = 4096
+
+// NewSink starts a sink writing to w with the given ring capacity.
+func NewSink(w io.Writer, capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultSinkBuffer
+	}
+	s := &Sink{
+		w:      w,
+		events: make(chan Event, capacity),
+		done:   make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *Sink) run() {
+	bw := bufio.NewWriter(s.w)
+	enc := json.NewEncoder(bw)
+	var err error
+	for ev := range s.events {
+		if err == nil {
+			if err = enc.Encode(ev); err == nil {
+				s.written.Add(1)
+			}
+		}
+	}
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	// A sink over an owned file (see FileSink) closes it after the flush so
+	// Close really is "everything durably written".
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// Emit enqueues an event without blocking; if the ring is full or the sink
+// is closed the event is dropped and counted.
+func (s *Sink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.events <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Close drains the ring, flushes the writer and returns the first write
+// error, if any. Safe to call more than once; Emit after Close drops.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.events)
+	}
+	s.mu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Written is the number of events successfully encoded so far.
+func (s *Sink) Written() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.written.Load()
+}
+
+// Dropped is the number of events discarded because the ring was full (or
+// the sink closed).
+func (s *Sink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}

@@ -11,6 +11,7 @@ import (
 
 	"cbma/internal/baseline"
 	"cbma/internal/core"
+	"cbma/internal/obs"
 	"cbma/internal/pn"
 	"cbma/internal/report"
 	"cbma/internal/sim"
@@ -30,6 +31,11 @@ type Options struct {
 	Trials int
 	// PayloadBytes per frame.
 	PayloadBytes int
+	// Obs, when non-nil, is attached to every scenario the experiments
+	// build, collecting stage timings, events and campaign progress.
+	// Strictly observational (see sim.Scenario.Obs); excluded from JSON so
+	// manifests hashing an Options value ignore it.
+	Obs *obs.Observer `json:"-"`
 }
 
 // DefaultOptions returns the full-fidelity workload.
@@ -53,6 +59,7 @@ func (o Options) base() sim.Scenario {
 	scn.Seed = o.Seed
 	scn.Packets = o.Packets
 	scn.PayloadBytes = o.PayloadBytes
+	scn.Obs = o.Obs
 	return scn
 }
 

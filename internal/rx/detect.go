@@ -451,11 +451,15 @@ func (r *Receiver) detectAndDecodeAll(env []float64, x []complex128, globalStart
 	if workers <= 1 {
 		var frames []DecodedFrame
 		for id := 0; id < n; id++ {
+			detSp := r.obs.Start(r.hDetect)
 			det, ok := r.detectUser(sw, env, x, id, globalStart, noiseW)
+			detSp.End()
 			if !ok {
 				continue
 			}
+			decSp := r.obs.Start(r.hDecode)
 			f := r.decodeUser(x, id, det.lag, det.phasor)
+			decSp.End()
 			f.Corr = det.corr
 			frames = append(frames, f)
 		}
@@ -477,11 +481,15 @@ func (r *Receiver) detectAndDecodeAll(env []float64, x []complex128, globalStart
 				if id >= n {
 					return
 				}
+				detSp := r.obs.Start(r.hDetect)
 				det, ok := r.detectUser(sw, env, x, id, globalStart, noiseW)
+				detSp.End()
 				if !ok {
 					continue
 				}
+				decSp := r.obs.Start(r.hDecode)
 				f := r.decodeUser(x, id, det.lag, det.phasor)
+				decSp.End()
 				f.Corr = det.corr
 				slots[id] = slot{f: f, ok: true}
 			}

@@ -12,6 +12,7 @@ import (
 
 	"cbma/internal/dsp"
 	"cbma/internal/frame"
+	"cbma/internal/obs"
 	"cbma/internal/pn"
 )
 
@@ -78,6 +79,11 @@ type Config struct {
 	// Receiver stays safe for sequential reuse either way; results are
 	// returned in code order and are identical to the serial path.
 	Workers int
+	// Obs, when non-nil, times the receiver phases (frame sync, user
+	// detection, chip decode) into the observer's registry. Purely
+	// observational: no receiver decision reads it, so decode results are
+	// identical with or without it.
+	Obs *obs.Observer
 	// ResyncFallback enables graceful re-synchronization on ReceiveAt
 	// calls: when the energy detector or the fine alignment fails — deep
 	// fades, mid-frame outages and interference bursts can bury the energy
@@ -154,6 +160,14 @@ type Receiver struct {
 	cohRows   [][]complex128
 	sicWork   []complex128
 	sicEnv    []float64
+	// Telemetry instruments, pre-resolved at construction (nil-safe no-ops
+	// without Config.Obs). Clones share them: the histograms are atomic, so
+	// parallel round workers aggregate into the same phase timings.
+	obs     *obs.Observer
+	hSync   *obs.Histogram
+	hDetect *obs.Histogram
+	hDecode *obs.Histogram
+	cResync *obs.Counter
 }
 
 // New builds a receiver and precomputes the per-code correlation templates.
@@ -166,7 +180,14 @@ func New(cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Receiver{cfg: c}
+	r := &Receiver{
+		cfg:     c,
+		obs:     c.Obs,
+		hSync:   c.Obs.Histogram("rx.phase.sync_ns"),
+		hDetect: c.Obs.Histogram("rx.phase.detect_ns"),
+		hDecode: c.Obs.Histogram("rx.phase.decode_ns"),
+		cResync: c.Obs.Counter("rx.resyncs"),
+	}
 	for _, code := range c.Codes.Codes {
 		disc := code.Discriminant()
 		bit := upsampleFloats(disc, c.SamplesPerChip)
@@ -216,6 +237,11 @@ func (r *Receiver) Clone() *Receiver {
 		bitTmpl:      r.bitTmpl,
 		sparse:       r.sparse,
 		anySparse:    r.anySparse,
+		obs:          r.obs,
+		hSync:        r.hSync,
+		hDetect:      r.hDetect,
+		hDecode:      r.hDecode,
+		cResync:      r.cResync,
 	}
 	// NewFilterBank only validates the templates, which already passed
 	// validation when r was built.
@@ -301,12 +327,16 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	if len(samples) == 0 {
 		return res, dsp.ErrEmptyInput
 	}
+	// The sync span covers the whole timing-acquisition phase: energy
+	// detection, noise estimation and the fine global alignment.
+	sp := r.obs.Start(r.hSync)
 	r.power = dsp.MagSquaredInto(r.power, samples)
 	power := r.power
 	start, found := EnergyDetect(power, r.cfg.SyncWindow, r.cfg.SyncThresholdDB, r.shortWindow())
 	resync := r.cfg.ResyncFallback && nominalStart >= 0 && nominalStart < len(samples)
 	if !found {
 		if !resync {
+			sp.End()
 			return res, nil
 		}
 		// Re-sync fallback: the energy rise is buried (fade, outage,
@@ -324,10 +354,15 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	globalStart, ok := r.globalAlign(env, power, start, res.NoiseW, nominalStart)
 	if !ok {
 		if !resync {
+			sp.End()
 			return res, nil
 		}
 		globalStart = nominalStart
 		res.Resynced = true
+	}
+	sp.End()
+	if res.Resynced {
+		r.cResync.Inc()
 	}
 	res.GlobalStart = globalStart
 	if r.cfg.SIC {

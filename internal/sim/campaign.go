@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+
+	"cbma/internal/obs"
 )
 
 // CampaignOpts configures RunCampaign.
@@ -16,6 +18,12 @@ type CampaignOpts struct {
 	// What labels campaign errors with the harness's purpose (e.g.
 	// "distance sweep").
 	What string
+	// Obs, when non-nil, times campaign points, drives the live progress
+	// line, and is attached to every point scenario that does not already
+	// carry its own observer. Telemetry never changes results (see
+	// Scenario.Obs). When nil, the first point's Scenario.Obs (if any) still
+	// receives the campaign-level progress and events.
+	Obs *obs.Observer
 }
 
 // PointError records one failed campaign point, preserving which point and
@@ -106,11 +114,30 @@ func RunCampaignContext(ctx context.Context, points []Scenario, opts CampaignOpt
 	if perEngine < 1 {
 		perEngine = 1
 	}
+	o := opts.Obs
+	if o == nil {
+		// Library sweeps that set Scenario.Obs (rather than CampaignOpts.Obs)
+		// still get campaign-level progress and events.
+		o = points[0].Obs
+	}
+	o.CampaignStart(what, len(points))
+	pointHist := o.Histogram("campaign.point_ns")
 	out := make([]Metrics, len(points))
 	perr := make([]*PointError, len(points))
 	runParallelCtx(ctx, pointWorkers, len(points), func(i int) {
-		perr[i] = runCampaignPoint(ctx, what, i, points[i], perEngine, out)
+		sp := o.Start(pointHist)
+		perr[i] = runCampaignPoint(ctx, what, i, points[i], perEngine, opts.Obs, out)
+		sp.End()
+		if o.EmitsEvents() {
+			f := map[string]any{"what": what, "point": i}
+			if perr[i] != nil {
+				f["failed"] = true
+			}
+			o.Emit("point", f)
+		}
+		o.CampaignPoint()
 	})
+	o.CampaignEnd(what)
 	var failed []*PointError
 	for _, pe := range perr {
 		if pe != nil {
@@ -130,7 +157,7 @@ func RunCampaignContext(ctx context.Context, points []Scenario, opts CampaignOpt
 // errors and point-level panics into a PointError. A cancelled point is not
 // a failure: its partial metrics (already marked Interrupted by RunContext)
 // land in out and the cancellation is reported campaign-wide instead.
-func runCampaignPoint(ctx context.Context, what string, i int, scn Scenario, perEngine int, out []Metrics) (pe *PointError) {
+func runCampaignPoint(ctx context.Context, what string, i int, scn Scenario, perEngine int, o *obs.Observer, out []Metrics) (pe *PointError) {
 	defer func() {
 		if r := recover(); r != nil {
 			pe = &PointError{What: what, Point: i, Err: fmt.Errorf("panic: %v", r)}
@@ -138,6 +165,9 @@ func runCampaignPoint(ctx context.Context, what string, i int, scn Scenario, per
 	}()
 	if scn.Workers == 0 {
 		scn.Workers = perEngine
+	}
+	if scn.Obs == nil {
+		scn.Obs = o
 	}
 	e, err := NewEngine(scn)
 	if err != nil {

@@ -51,6 +51,10 @@ type Engine struct {
 	// executed (phaseAdhoc) rounds.
 	runSeq     uint64
 	adhocRound uint64
+	// eobs holds the pre-resolved telemetry instruments (no-ops when
+	// Scenario.Obs is nil); committed numbers the commit-order round events.
+	eobs      engineObs
+	committed uint64
 }
 
 // NewEngine validates the scenario and builds the tag population and
@@ -65,8 +69,9 @@ func NewEngine(scn Scenario) (*Engine, error) {
 	}
 	spc := scn.SamplesPerChip()
 	e := &Engine{
-		scn: scn,
-		set: set,
+		scn:  scn,
+		set:  set,
+		eobs: newEngineObs(scn.Obs),
 	}
 	// Normalize the fault profile once; a nil or all-zero profile leaves
 	// every fault path (injector, rx fallback) disabled so the run is
@@ -105,6 +110,7 @@ func NewEngine(scn Scenario) (*Engine, error) {
 		NoiseFloorW:     scn.Channel.NoiseFloorW(),
 		SIC:             scn.SIC,
 		PhaseTracking:   scn.PhaseTracking,
+		Obs:             scn.Obs,
 		// Under injected clock faults the energy edge can smear past the
 		// sync stage's tolerance; the reader-timed fallback keeps such
 		// rounds decodable instead of silently empty.
@@ -201,7 +207,7 @@ func (e *Engine) Scenario() Scenario { return e.scn }
 // timeout path stays off otherwise — silence then reads as universal frame
 // loss, the legacy Algorithm 1 behaviour).
 func (e *Engine) powerControlConfig() mac.PowerControlConfig {
-	var cfg mac.PowerControlConfig
+	cfg := mac.PowerControlConfig{Obs: e.scn.Obs}
 	if e.scn.Fault != nil {
 		p := e.scn.Fault.WithDefaults()
 		cfg.FeedbackRetries = p.FeedbackRetries

@@ -30,6 +30,12 @@ type Metrics struct {
 	// AirtimeSamples by finalize (callers constructing Metrics directly may
 	// also set it themselves).
 	AirtimeSeconds float64
+	// airtimeDirect accumulates merged-in airtime that was never backed by
+	// samples (partials from direct-construction callers). Keeping it apart
+	// from AirtimeSeconds makes finalize the single source of truth for the
+	// exported field: finalized partials merge by their integral samples
+	// alone, so re-finalizing a merged value can never double-count.
+	airtimeDirect float64
 	// PowerControlRounds counts Algorithm 1 adjustment rounds executed;
 	// PowerControlConverged reports whether the FER target was met.
 	PowerControlRounds    int
@@ -106,8 +112,15 @@ func (m *Metrics) Merge(o Metrics) {
 	m.FramesDetected += o.FramesDetected
 	m.FramesDelivered += o.FramesDelivered
 	m.FalseFrames += o.FalseFrames
+	// Airtime merges through the integral samples; AirtimeSeconds is derived
+	// by finalize. A partial carrying seconds without samples (direct
+	// construction) folds into the hidden accumulator instead, so merging
+	// already-finalized partials cannot double-count their airtime.
 	m.AirtimeSamples += o.AirtimeSamples
-	m.AirtimeSeconds += o.AirtimeSeconds
+	m.airtimeDirect += o.airtimeDirect
+	if o.AirtimeSamples == 0 {
+		m.airtimeDirect += o.AirtimeSeconds
+	}
 	m.PowerControlRounds += o.PowerControlRounds
 	m.PowerControlConverged = m.PowerControlConverged || o.PowerControlConverged
 	m.PowerControlRetries += o.PowerControlRetries
@@ -135,10 +148,18 @@ func mergeCounts(dst, src []int) []int {
 	return dst
 }
 
-// finalize derives the rate metrics from the counters.
+// finalize derives the rate metrics from the counters. It is idempotent:
+// AirtimeSeconds is recomputed from the samples (plus any sample-free direct
+// airtime merged in), never accumulated.
 func (m *Metrics) finalize(scn Scenario) {
+	if m.AirtimeSamples == 0 && m.airtimeDirect == 0 {
+		// Direct-construction callers set AirtimeSeconds themselves; honor it
+		// when nothing else contributed airtime.
+		m.airtimeDirect = m.AirtimeSeconds
+	}
+	m.AirtimeSeconds = m.airtimeDirect
 	if m.AirtimeSamples > 0 && scn.SampleRateHz > 0 {
-		m.AirtimeSeconds = float64(m.AirtimeSamples) / scn.SampleRateHz
+		m.AirtimeSeconds += float64(m.AirtimeSamples) / scn.SampleRateHz
 	}
 	m.FER = 1 - stats.RatioOrZero(float64(m.FramesDelivered), float64(m.FramesSent))
 	m.PRR = 1 - m.FER
@@ -153,6 +174,9 @@ func (m *Metrics) finalize(scn Scenario) {
 func (m Metrics) String() string {
 	s := fmt.Sprintf("tags=%d sent=%d delivered=%d FER=%.4f goodput=%.0f bps raw=%.0f bps",
 		m.NumTags, m.FramesSent, m.FramesDelivered, m.FER, m.GoodputBps, m.RawAggregateBps)
+	if m.DetectionFER > 0 || m.FalseFrames > 0 {
+		s += fmt.Sprintf(" detFER=%.4f false=%d", m.DetectionFER, m.FalseFrames)
+	}
 	if m.RoundsQuarantined > 0 || m.RoundRetries > 0 {
 		s += fmt.Sprintf(" quarantined=%d/%d retries=%d",
 			m.RoundsQuarantined, m.RoundsPlanned, m.RoundRetries)

@@ -71,6 +71,15 @@ func (e *Engine) resilientRound(active []*tag.Tag, rs *roundStreams, rb *roundBu
 		if pe, ok := err.(*RoundPanicError); ok {
 			// A panic means the round's state is suspect and — being
 			// deterministic — a retry would panic again. Quarantine.
+			// The quarantine event fires here, at the failure site, so its
+			// timestamp reflects when the round actually died; under parallel
+			// execution these events interleave across rounds (the ordered
+			// lifecycle record is commitRound's "round" event stream).
+			if e.eobs.o.EmitsEvents() {
+				e.eobs.o.Emit("round_quarantined", map[string]any{
+					"round": rs.round, "attempt": attempt, "injected": pe.Injected,
+				})
+			}
 			q := roundResult{quarantined: true, retries: attempt}
 			q.faults.TransientErrors = transients
 			if pe.Injected {
@@ -81,7 +90,17 @@ func (e *Engine) resilientRound(active []*tag.Tag, rs *roundStreams, rb *roundBu
 		if fault.IsTransient(err) {
 			transients++
 			if attempt < maxRetries {
+				if e.eobs.o.EmitsEvents() {
+					e.eobs.o.Emit("round_retry", map[string]any{
+						"round": rs.round, "attempt": attempt,
+					})
+				}
 				continue
+			}
+			if e.eobs.o.EmitsEvents() {
+				e.eobs.o.Emit("round_quarantined", map[string]any{
+					"round": rs.round, "attempt": attempt, "transient": true,
+				})
 			}
 			q := roundResult{quarantined: true, retries: attempt}
 			q.faults.TransientErrors = transients

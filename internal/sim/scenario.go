@@ -14,6 +14,7 @@ import (
 	"cbma/internal/fault"
 	"cbma/internal/frame"
 	"cbma/internal/geom"
+	"cbma/internal/obs"
 	"cbma/internal/pn"
 )
 
@@ -143,6 +144,15 @@ type Scenario struct {
 	// and, when FeedbackRetries is set, the power controller's
 	// feedback-timeout path.
 	Fault *fault.Profile
+	// Obs, when non-nil, attaches the telemetry layer (internal/obs): stage
+	// and receiver-phase timing spans, round/fault/power-control events and
+	// campaign progress. Telemetry is strictly observational — the engine
+	// never consults it for control flow, it consumes no simulation
+	// randomness, and it reads time only through its own injected clock — so
+	// Metrics are bit-identical with Obs nil or set, at any worker count
+	// (TestRunObsEquivalence). One observer may be shared by every scenario
+	// of a campaign; all its instruments are concurrency-safe.
+	Obs *obs.Observer
 }
 
 // DefaultScenario returns a runnable baseline: 2 tags with Gold-31 codes on

@@ -179,16 +179,24 @@ func (e *Engine) executeRound(active []*tag.Tag, rs *roundStreams, rb *roundBuff
 		}
 		replay = &r
 	}
+	// Stage spans are obs.Span values on the observer's injected clock:
+	// allocation-free (hotpath-compatible) and invisible to the result path.
 	var fc fault.Counters
+	sp := e.eobs.o.Start(e.eobs.build)
 	tx, err := e.buildTransmissions(active, rs, rb, replay, &fc)
+	sp.End()
 	if err != nil {
 		return res, err
 	}
+	sp = e.eobs.o.Start(e.eobs.mix)
 	buf, recorded, err := e.mixChannel(tx, rs, rb, replay, &fc)
+	sp.End()
 	if err != nil {
 		return res, err
 	}
+	sp = e.eobs.o.Start(e.eobs.decode)
 	res, err = e.decodeAndAck(recv, buf, tx, rs, &fc)
+	sp.End()
 	res.recorded = recorded
 	res.faults = fc
 	return res, err
@@ -517,4 +525,7 @@ func (e *Engine) commitRound(active []*tag.Tag, res roundResult) {
 	if e.recorder != nil {
 		e.recorder.Record(res.recorded)
 	}
+	round := e.committed
+	e.committed++
+	e.eobs.record(round, res)
 }
