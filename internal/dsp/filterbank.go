@@ -1,6 +1,9 @@
 package dsp
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // FilterBank is a matched-filter bank: a set of equal-length real templates
 // whose sliding correlations against a shared input are evaluated together.
@@ -13,18 +16,27 @@ import "math/bits"
 // stay bit-identical with the naive implementation.
 //
 // A FilterBank is not safe for concurrent use: queries share the scratch
-// buffers. The precomputed spectra themselves are immutable after first use
-// of a size, so distinct banks over the same templates may run in parallel.
+// buffers. The precomputed spectra live in a lock-guarded cache that Clone
+// shares across banks, so a family of clones computes each template's
+// forward transform once per size and still runs queries in parallel.
 type FilterBank struct {
 	m     int
 	tmpls [][]float64
-	// freq[size][id] = conj(FFT(template id zero-padded to size)), built
-	// lazily per transform size (queries of different lag counts prefer
-	// different block sizes).
-	freq map[int][][]complex128
+	// spectra is the frequency-domain template cache, shared with every
+	// clone of this bank.
+	spectra *bankSpectra
 	// in holds the chunk spectrum, prod the per-template product/IFFT, and
 	// rspan the complex embedding of real-input spans.
 	in, prod, rspan []complex128
+}
+
+// bankSpectra caches freq[size][id] = conj(FFT(template id zero-padded to
+// size)), built lazily per transform size (queries of different lag counts
+// prefer different block sizes). Each spectrum slice is immutable once
+// published, so readers share them freely; the lock only guards the map.
+type bankSpectra struct {
+	mu   sync.RWMutex
+	freq map[int][][]complex128
 }
 
 // NewFilterBank builds a bank over the given templates, which must all have
@@ -41,10 +53,18 @@ func NewFilterBank(templates [][]float64) (*FilterBank, error) {
 		}
 	}
 	return &FilterBank{
-		m:     m,
-		tmpls: templates,
-		freq:  make(map[int][][]complex128),
+		m:       m,
+		tmpls:   templates,
+		spectra: &bankSpectra{freq: make(map[int][][]complex128)},
 	}, nil
+}
+
+// Clone returns a bank over fb's templates that shares the precomputed
+// frequency-domain spectra but owns fresh scratch buffers, so the clone and
+// fb (and further clones) may run queries concurrently. Cloning is O(1) —
+// no template validation or transform work is repeated.
+func (fb *FilterBank) Clone() *FilterBank {
+	return &FilterBank{m: fb.m, tmpls: fb.tmpls, spectra: fb.spectra}
 }
 
 // NumTemplates returns the number of templates in the bank.
@@ -93,9 +113,15 @@ func (fb *FilterBank) ShouldUseFFT(count, nTemplates int, complexInput bool) boo
 }
 
 // spectraFor returns the per-template conjugated spectra at the given
-// transform size, computing and caching them on first use.
+// transform size, computing and caching them on first use. The cache is
+// shared across clones: concurrent first uses of the same size may both
+// compute it, but the results are identical and publication is atomic under
+// the lock, so every reader observes a complete spectrum set.
 func (fb *FilterBank) spectraFor(size int) [][]complex128 {
-	if s, ok := fb.freq[size]; ok {
+	fb.spectra.mu.RLock()
+	s, ok := fb.spectra.freq[size]
+	fb.spectra.mu.RUnlock()
+	if ok {
 		return s
 	}
 	p := planFor(size)
@@ -111,7 +137,13 @@ func (fb *FilterBank) spectraFor(size int) [][]complex128 {
 		}
 		specs[id] = s
 	}
-	fb.freq[size] = specs
+	fb.spectra.mu.Lock()
+	if prev, ok := fb.spectra.freq[size]; ok {
+		specs = prev // another clone won the race; keep one canonical set
+	} else {
+		fb.spectra.freq[size] = specs
+	}
+	fb.spectra.mu.Unlock()
 	return specs
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -249,5 +250,71 @@ func TestShouldUseFFTMonotone(t *testing.T) {
 	}
 	if fbs.ShouldUseFFT(1<<20, 1, true) {
 		t.Error("8-tap template must never take the FFT path")
+	}
+}
+
+// TestFilterBankCloneSharesSpectra pins the clone contract: clones share the
+// lazily built frequency-domain template cache (the same backing slices, so
+// forward transforms are paid once per family) while owning private query
+// scratch, and concurrent queries from many clones agree with the original.
+func TestFilterBankCloneSharesSpectra(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tmpls := make([][]float64, 6)
+	for i := range tmpls {
+		tmpls[i] = randReal(rng, 256)
+	}
+	fb, err := NewFilterBank(tmpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 2048
+	n := count + fb.TemplateLen() - 1
+	env := randReal(rng, n)
+	if !fb.ShouldUseFFT(count, len(tmpls), false) {
+		t.Fatal("test query must take the FFT path")
+	}
+	rows := func() [][]float64 {
+		r := make([][]float64, len(tmpls))
+		for j := range r {
+			r[j] = make([]float64, count)
+		}
+		return r
+	}
+	want := rows()
+	if err := fb.CorrelateRealAll(env, 0, count, nil, want); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := fb.blocking(count)
+	spec := fb.spectraFor(size)
+
+	var wg sync.WaitGroup
+	got := make([][][]float64, 8)
+	clones := make([]*FilterBank, 8)
+	for w := range clones {
+		clones[w] = fb.Clone()
+		got[w] = rows()
+	}
+	for w := range clones {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := clones[w].CorrelateRealAll(env, 0, count, nil, got[w]); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range clones {
+		cs := clones[w].spectraFor(size)
+		if &cs[0][0] != &spec[0][0] {
+			t.Errorf("clone %d rebuilt spectra instead of sharing the cache", w)
+		}
+		for j := range want {
+			for k := range want[j] {
+				if got[w][j][k] != want[j][k] {
+					t.Fatalf("clone %d row %d lag %d: %v != %v", w, j, k, got[w][j][k], want[j][k])
+				}
+			}
+		}
 	}
 }

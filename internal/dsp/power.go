@@ -37,14 +37,16 @@ func AmplitudeForPower(p float64) float64 {
 
 // SNRdB estimates the signal-to-noise ratio in dB given a measured total
 // power (signal+noise) and a known noise power. When the measured power does
-// not exceed the noise floor the function returns -Inf.
+// not exceed the noise floor the function returns -Inf; this takes priority
+// over a vanishing noise estimate, so a zero-power measurement is -Inf
+// rather than +Inf even when the noise power is also zero.
 func SNRdB(totalPower, noisePower float64) float64 {
-	if noisePower <= 0 {
-		return math.Inf(1)
-	}
 	sig := totalPower - noisePower
 	if sig <= 0 {
 		return math.Inf(-1)
+	}
+	if noisePower <= 0 {
+		return math.Inf(1)
 	}
 	return DB(sig / noisePower)
 }

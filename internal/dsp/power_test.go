@@ -78,6 +78,42 @@ func TestSNRdB(t *testing.T) {
 	}
 }
 
+// TestSNRdBQuadrants pins the guard order over the sign quadrants of
+// (totalPower, noisePower). The no-signal check must win: SNRdB(0, 0) is
+// -Inf (nothing measured), not +Inf from the zero-noise short-circuit.
+func TestSNRdBQuadrants(t *testing.T) {
+	negInf, posInf := math.Inf(-1), math.Inf(1)
+	tests := []struct {
+		name         string
+		total, noise float64
+		want         float64
+	}{
+		{"zero measurement, zero noise", 0, 0, negInf},
+		{"positive signal, zero noise", 1, 0, posInf},
+		{"positive signal, negative noise estimate", 1, -0.5, posInf},
+		{"zero measurement, positive noise", 0, 1, negInf},
+		{"at the noise floor", 1, 1, negInf},
+		{"below the noise floor", 0.5, 1, negInf},
+		{"negative measurement, zero noise", -1, 0, negInf},
+		{"negative measurement, negative noise, no excess", -2, -1, negInf},
+		{"above a positive floor", 10, 1, DB(9)},
+	}
+	for _, tc := range tests {
+		got := SNRdB(tc.total, tc.noise)
+		if math.IsInf(tc.want, -1) && !math.IsInf(got, -1) {
+			t.Errorf("%s: SNRdB(%v, %v) = %v, want -Inf", tc.name, tc.total, tc.noise, got)
+			continue
+		}
+		if math.IsInf(tc.want, 1) && !math.IsInf(got, 1) {
+			t.Errorf("%s: SNRdB(%v, %v) = %v, want +Inf", tc.name, tc.total, tc.noise, got)
+			continue
+		}
+		if !math.IsInf(tc.want, 0) && !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("%s: SNRdB(%v, %v) = %v, want %v", tc.name, tc.total, tc.noise, got, tc.want)
+		}
+	}
+}
+
 func TestNoisePowerFromDensity(t *testing.T) {
 	if got := NoisePowerFromDensity(2e-21, 1e6); !almostEqual(got, 2e-15, 1e-27) {
 		t.Errorf("got %v", got)

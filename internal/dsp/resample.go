@@ -5,6 +5,9 @@ import "errors"
 // ErrBadFactor is returned for non-positive resampling factors.
 var ErrBadFactor = errors.New("dsp: resampling factor must be >= 1")
 
+// ErrBadOffset is returned for negative sampling offsets.
+var ErrBadOffset = errors.New("dsp: sampling offset must be >= 0")
+
 // UpsampleHold repeats every input sample factor times (zero-order hold).
 // This models the tag's upsampling block: the FPGA holds each data bit for
 // an integer number of subcarrier periods (§VI, Eq. 3).
@@ -46,7 +49,7 @@ func Downsample(x []complex128, factor, offset int) ([]complex128, error) {
 		return nil, ErrBadFactor
 	}
 	if offset < 0 {
-		offset = 0
+		return nil, ErrBadOffset
 	}
 	if offset >= len(x) {
 		return nil, nil
@@ -77,6 +80,33 @@ func DownsampleMean(x []float64, factor int) ([]float64, error) {
 		out[i] = acc / float64(factor)
 	}
 	return out, nil
+}
+
+// DownsampleSumInto writes the consecutive block sums of x — factor samples
+// per block, the trailing partial block dropped — into dst, growing it only
+// when its capacity is short. It is the allocation-free, unnormalized form
+// of DownsampleMean: an integrate-and-dump to chip rate, which is what the
+// receiver's coarse alignment pass runs its decimated correlations on.
+//
+//cbma:hotpath
+func DownsampleSumInto(dst, x []float64, factor int) ([]float64, error) {
+	if factor < 1 {
+		return nil, ErrBadFactor
+	}
+	n := len(x) / factor
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		var acc float64
+		base := i * factor
+		for k := 0; k < factor; k++ {
+			acc += x[base+k]
+		}
+		dst[i] = acc
+	}
+	return dst, nil
 }
 
 // FractionalDelay delays x by d samples (d may be fractional and ≥ 0) using

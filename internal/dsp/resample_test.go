@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -98,13 +99,45 @@ func TestDownsampleOffsetPastEnd(t *testing.T) {
 	}
 }
 
-func TestDownsampleNegativeOffsetClamped(t *testing.T) {
-	got, err := Downsample([]complex128{1, 2, 3}, 2, -4)
+func TestDownsampleNegativeOffsetRejected(t *testing.T) {
+	// A negative offset used to be silently clamped to 0, hiding caller
+	// bugs; it is now a typed error like a bad factor.
+	if _, err := Downsample([]complex128{1, 2, 3}, 2, -4); !errors.Is(err, ErrBadOffset) {
+		t.Fatalf("Downsample(offset=-4) err = %v, want ErrBadOffset", err)
+	}
+	if _, err := Downsample([]complex128{1, 2, 3}, 0, 1); !errors.Is(err, ErrBadFactor) {
+		t.Fatalf("Downsample(factor=0) err = %v, want ErrBadFactor", err)
+	}
+	got, err := Downsample([]complex128{1, 2, 3}, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Errorf("got %v, want [1 3]", got)
+	}
+}
+
+func TestDownsampleSumInto(t *testing.T) {
+	x := []float64{1, 3, 5, 7, 100}
+	got, err := DownsampleSumInto(nil, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 12} // trailing partial block dropped
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Reuse: a larger scratch is resliced, not reallocated.
+	scratch := make([]float64, 8)
+	got, err = DownsampleSumInto(scratch, x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 116 || &got[0] != &scratch[0] {
+		t.Errorf("scratch reuse: got %v (shared=%v)", got, len(got) > 0 && &got[0] == &scratch[0])
+	}
+	if _, err := DownsampleSumInto(nil, x, 0); !errors.Is(err, ErrBadFactor) {
+		t.Fatalf("factor 0: err = %v, want ErrBadFactor", err)
 	}
 }
 

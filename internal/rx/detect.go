@@ -58,6 +58,7 @@ func (r *Receiver) buildSweep(env []float64, x []complex128, globalStart int) *s
 	}
 	r.cohRows = growComplexRows(r.cohRows, n, count)
 	if err := r.bank.CorrelateAll(x, lo, count, nil, r.cohRows); err != nil {
+		r.noteFFTFallback("sweep", err)
 		return nil
 	}
 	sw := &sweep{lo: lo, count: count, coh: r.cohRows}
@@ -76,6 +77,7 @@ func (r *Receiver) buildSweep(env []float64, x []complex128, globalStart int) *s
 			sw.env[id] = r.envRows[id]
 		}
 		if err := r.bank.CorrelateRealAll(env, lo, count, sparseIDs, rows); err != nil {
+			r.noteFFTFallback("sweep_env", err)
 			return nil
 		}
 	}
@@ -206,6 +208,8 @@ func (r *Receiver) globalAlign(env []float64, power []float64, coarse int, noise
 		if err := r.bank.CorrelateRealAll(env, lo, count, nil, r.alignRows); err == nil {
 			rows := r.alignRows
 			corrAt = func(id, lag int) float64 { return rows[id][lag-lo] }
+		} else {
+			r.noteFFTFallback("align", err)
 		}
 	}
 	score := func(lag int) float64 {
@@ -558,6 +562,19 @@ func (r *Receiver) detectBest(ids []int, env []float64, x []complex128, globalSt
 		}
 	}
 	return bestID, bestDet, bestID >= 0
+}
+
+// noteFFTFallback records a filter-bank error that silently dropped an
+// alignment or detection sweep to the direct per-lag loops. The results are
+// unaffected — the direct path computes the same correlations — but the
+// cost regresses to the O(lags×codes) product the bank exists to avoid, so
+// the fallback must be visible in the run manifest (counter) and event log
+// rather than only as unexplained wall time.
+func (r *Receiver) noteFFTFallback(where string, err error) {
+	r.cFFTFallback.Inc()
+	if r.obs.EmitsEvents() {
+		r.obs.Emit("rx_fft_fallback", map[string]any{"where": where, "error": err.Error()})
+	}
 }
 
 // workerCount bounds the per-call worker pool by the configured fan-out and

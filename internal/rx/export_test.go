@@ -1,0 +1,10 @@
+package rx
+
+import "cbma/internal/dsp"
+
+// EnergyDetectPrefix exposes the prefix-sum detector to external test
+// packages (the frame-sync fuzz target cross-checks it against
+// EnergyDetect: on integer-valued power the two are exactly equal).
+func EnergyDetectPrefix(power []float64, longWindow int, thresholdDB float64, shortWindow int) (int, bool) {
+	return energyDetectPrefix(dsp.PrefixSumInto(nil, power), longWindow, thresholdDB, shortWindow)
+}

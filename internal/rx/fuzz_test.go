@@ -13,6 +13,11 @@ import (
 // is deterministic. Window sizes are folded into a range proportional to
 // the buffer so the fuzzer explores boundary geometry (windows longer than
 // the buffer included) without just allocating gigantic delay lines.
+//
+// The prefix-sum detector (the receiver's default path) is run on every
+// input and must agree exactly: the decoded powers are integers whose sums
+// stay far below 2^53, so its prefix-difference window means are identical
+// to the reference's streaming accumulator — not merely close.
 func FuzzFrameSync(f *testing.F) {
 	quiet := make([]byte, 256)
 	burst := append(append([]byte{}, quiet...), bytesRamp(256)...)
@@ -20,6 +25,14 @@ func FuzzFrameSync(f *testing.F) {
 	f.Add(burst, 64, 3.0, 16)
 	f.Add([]byte{}, 0, 0.0, 0)
 	f.Add([]byte{1, 2, 3}, -5, math.Inf(1), -7)
+	// Boundary geometry: buffer shorter than the short window; a step
+	// landing exactly on the first post-warmup comparator check (the
+	// earliest possible fire, back-dating to start 1); short window larger
+	// than the long window.
+	f.Add(bytesRamp(40), 16, 3.0, 64)
+	stepAtWarmup := append(make([]byte, 2*16), bytesRamp(128)...)
+	f.Add(stepAtWarmup, 64, 3.0, 16)
+	f.Add(stepAtWarmup, 4, 3.0, 100)
 	f.Fuzz(func(t *testing.T, raw []byte, longWindow int, thresholdDB float64, shortWindow int) {
 		if len(raw) > 1<<14 {
 			raw = raw[:1<<14]
@@ -46,6 +59,11 @@ func FuzzFrameSync(f *testing.F) {
 		if start2 != start || found2 != found {
 			t.Fatalf("EnergyDetect is not deterministic: (%d,%v) then (%d,%v)",
 				start, found, start2, found2)
+		}
+		pstart, pfound := rx.EnergyDetectPrefix(power, longWindow, thresholdDB, shortWindow)
+		if pstart != start || pfound != found {
+			t.Fatalf("prefix detector diverges on integer powers: reference (%d,%v) vs prefix (%d,%v) (len=%d, long=%d, th=%g, short=%d)",
+				start, found, pstart, pfound, len(power), longWindow, thresholdDB, shortWindow)
 		}
 	})
 }

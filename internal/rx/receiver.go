@@ -84,6 +84,17 @@ type Config struct {
 	// observational: no receiver decision reads it, so decode results are
 	// identical with or without it.
 	Obs *obs.Observer
+	// ReferenceSync selects the pre-optimization timing-acquisition path:
+	// streaming moving-average energy detection, per-position window
+	// rescans in refineEdge, the full-buffer envelope and the exhaustive
+	// strided alignment scan over the whole uncertainty window. The
+	// default fast path (prefix-sum detection, windowed envelope,
+	// coarse-to-fine alignment — see align.go) reproduces the reference
+	// decisions, and campaign Metrics are bit-identical across the two on
+	// every covered scenario (TestRunSyncEquivalence); this knob keeps the
+	// reference implementation live so that equivalence stays continuously
+	// testable instead of frozen at a one-time measurement.
+	ReferenceSync bool
 	// ResyncFallback enables graceful re-synchronization on ReceiveAt
 	// calls: when the energy detector or the fine alignment fails — deep
 	// fades, mid-frame outages and interference bursts can bury the energy
@@ -144,6 +155,12 @@ type Receiver struct {
 	bitTmpl      [][]float64
 	sparse       []bool
 	anySparse    bool
+	// chipTmpl[i] is code i's preamble discriminant at chip rate. The
+	// sample templates are chip-constant (each discriminant value held for
+	// SamplesPerChip samples), so the coarse alignment pass correlates
+	// per-chip block sums of the envelope against these short templates
+	// instead of sliding the full-rate template (see alignCoarseFine).
+	chipTmpl [][]float64
 	// bank holds the preamble templates with their frequency-domain images
 	// precomputed, for the matched-filter fast path taken by globalAlign
 	// and the detection sweep when the window is large enough (see
@@ -160,14 +177,20 @@ type Receiver struct {
 	cohRows   [][]complex128
 	sicWork   []complex128
 	sicEnv    []float64
+	// Fast sync-path scratch: the buffer's power prefix sums (every
+	// moving-window statistic of the sync stage reads them in O(1)) and
+	// the chip-rate decimated envelope of the alignment span.
+	powerPrefix []float64
+	envChips    []float64
 	// Telemetry instruments, pre-resolved at construction (nil-safe no-ops
 	// without Config.Obs). Clones share them: the histograms are atomic, so
 	// parallel round workers aggregate into the same phase timings.
-	obs     *obs.Observer
-	hSync   *obs.Histogram
-	hDetect *obs.Histogram
-	hDecode *obs.Histogram
-	cResync *obs.Counter
+	obs          *obs.Observer
+	hSync        *obs.Histogram
+	hDetect      *obs.Histogram
+	hDecode      *obs.Histogram
+	cResync      *obs.Counter
+	cFFTFallback *obs.Counter
 }
 
 // New builds a receiver and precomputes the per-code correlation templates.
@@ -181,12 +204,13 @@ func New(cfg Config) (*Receiver, error) {
 		return nil, err
 	}
 	r := &Receiver{
-		cfg:     c,
-		obs:     c.Obs,
-		hSync:   c.Obs.Histogram("rx.phase.sync_ns"),
-		hDetect: c.Obs.Histogram("rx.phase.detect_ns"),
-		hDecode: c.Obs.Histogram("rx.phase.decode_ns"),
-		cResync: c.Obs.Counter("rx.resyncs"),
+		cfg:          c,
+		obs:          c.Obs,
+		hSync:        c.Obs.Histogram("rx.phase.sync_ns"),
+		hDetect:      c.Obs.Histogram("rx.phase.detect_ns"),
+		hDecode:      c.Obs.Histogram("rx.phase.decode_ns"),
+		cResync:      c.Obs.Counter("rx.resyncs"),
+		cFFTFallback: c.Obs.Counter("rx.fft_fallbacks"),
 	}
 	for _, code := range c.Codes.Codes {
 		disc := code.Discriminant()
@@ -196,6 +220,7 @@ func New(cfg Config) (*Receiver, error) {
 		// the PPM-style regime where envelope timing wins (detectUser).
 		r.sparse = append(r.sparse, 4*code.OnesWeight() <= code.Length())
 		tmpl := make([]float64, 0, len(pre)*len(bit))
+		ct := make([]float64, 0, len(pre)*len(disc))
 		for _, b := range pre {
 			sign := 1.0
 			if b == 0 {
@@ -204,8 +229,12 @@ func New(cfg Config) (*Receiver, error) {
 			for _, v := range bit {
 				tmpl = append(tmpl, sign*v)
 			}
+			for _, v := range disc {
+				ct = append(ct, sign*v)
+			}
 		}
 		r.preambleTmpl = append(r.preambleTmpl, tmpl)
+		r.chipTmpl = append(r.chipTmpl, ct)
 	}
 	for _, sp := range r.sparse {
 		if sp {
@@ -225,32 +254,27 @@ func New(cfg Config) (*Receiver, error) {
 func (r *Receiver) Config() Config { return r.cfg }
 
 // Clone returns a receiver that shares r's immutable template tables but
-// owns its own per-call scratch and filter bank, so the clone and r (and
-// further clones) may run Receive concurrently on different goroutines.
-// The templates are read-only after construction; the FilterBank caches
-// frequency-domain images internally, so each clone needs its own bank over
-// the shared template storage.
+// owns its own per-call scratch, so the clone and r (and further clones)
+// may run Receive concurrently on different goroutines. The clone's filter
+// bank shares r's precomputed frequency-domain template spectra (guarded
+// inside the bank) with its own query scratch — parallel round workers no
+// longer redo the forward transforms the original already paid for.
 func (r *Receiver) Clone() *Receiver {
-	c := &Receiver{
+	return &Receiver{
 		cfg:          r.cfg,
 		preambleTmpl: r.preambleTmpl,
 		bitTmpl:      r.bitTmpl,
 		sparse:       r.sparse,
 		anySparse:    r.anySparse,
+		chipTmpl:     r.chipTmpl,
+		bank:         r.bank.Clone(),
 		obs:          r.obs,
 		hSync:        r.hSync,
 		hDetect:      r.hDetect,
 		hDecode:      r.hDecode,
 		cResync:      r.cResync,
+		cFFTFallback: r.cFFTFallback,
 	}
-	// NewFilterBank only validates the templates, which already passed
-	// validation when r was built.
-	bank, err := dsp.NewFilterBank(r.preambleTmpl)
-	if err != nil {
-		panic(fmt.Sprintf("rx: cloning filter bank: %v", err))
-	}
-	c.bank = bank
-	return c
 }
 
 // DecodedFrame is the per-user outcome of one receive pass.
@@ -332,7 +356,15 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	sp := r.obs.Start(r.hSync)
 	r.power = dsp.MagSquaredInto(r.power, samples)
 	power := r.power
-	start, found := EnergyDetect(power, r.cfg.SyncWindow, r.cfg.SyncThresholdDB, r.shortWindow())
+	ref := r.cfg.ReferenceSync
+	var start int
+	var found bool
+	if ref {
+		start, found = EnergyDetect(power, r.cfg.SyncWindow, r.cfg.SyncThresholdDB, r.shortWindow())
+	} else {
+		r.powerPrefix = dsp.PrefixSumInto(r.powerPrefix, power)
+		start, found = energyDetectPrefix(r.powerPrefix, r.cfg.SyncWindow, r.cfg.SyncThresholdDB, r.shortWindow())
+	}
 	resync := r.cfg.ResyncFallback && nominalStart >= 0 && nominalStart < len(samples)
 	if !found {
 		if !resync {
@@ -349,9 +381,22 @@ func (r *Receiver) receive(samples []complex128, nominalStart int) (Result, erro
 	res.CoarseStart = start
 	res.NoiseW = r.noiseEstimate(power, start)
 
-	r.env = dsp.MagnitudeInto(r.env, samples)
+	if ref || r.cfg.SIC {
+		// The SIC loop re-derives the envelope over the whole buffer after
+		// each cancellation, so a partial fill buys nothing there.
+		r.env = dsp.MagnitudeInto(r.env, samples)
+	} else {
+		elo, ehi := r.envWindow(start, nominalStart, len(samples))
+		r.env = magnitudeWindowInto(r.env, samples, elo, ehi)
+	}
 	env := r.env
-	globalStart, ok := r.globalAlign(env, power, start, res.NoiseW, nominalStart)
+	var globalStart int
+	var ok bool
+	if ref {
+		globalStart, ok = r.globalAlign(env, power, start, res.NoiseW, nominalStart)
+	} else {
+		globalStart, ok = r.alignCoarseFine(env, power, start, res.NoiseW, nominalStart)
+	}
 	if !ok {
 		if !resync {
 			sp.End()
@@ -386,6 +431,37 @@ func (r *Receiver) shortWindow() int {
 		w = 64
 	}
 	return w
+}
+
+// envWindow bounds the envelope region the fast sync path actually reads:
+// the alignment window around the coarse start widened by the user-detection
+// search slack and one template length, extended to cover the reader's
+// nominal window when the resync fallback may re-anchor there. Everything
+// outside is zeroed, not computed — the per-sample math.Hypot over a mostly
+// unread buffer was a top cost of the reference sync phase.
+func (r *Receiver) envWindow(start, nominalStart, n int) (int, int) {
+	tmplLen := len(r.preambleTmpl[0])
+	slack := (2+r.cfg.SearchChips)*r.cfg.SamplesPerChip + r.shortWindow()
+	lo := start - slack
+	hi := start + slack + tmplLen
+	if r.cfg.ResyncFallback && nominalStart >= 0 && nominalStart < n {
+		if w := nominalStart - slack; w < lo {
+			lo = w
+		}
+		if w := nominalStart + slack + tmplLen; w > hi {
+			hi = w
+		}
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // noiseEstimate averages the power of the quiet region before the frame,

@@ -55,14 +55,77 @@ func EnergyDetect(power []float64, longWindow int, thresholdDB float64, shortWin
 	for i := warmup; i < len(power); i++ {
 		s := short.Push(power[i])
 		if longVal > 0 && s > factor*longVal {
-			start = i - shortWindow + 1
-			if start < 0 {
-				start = 0
-			}
-			return start, true
+			return backdateStart(i, shortWindow), true
 		}
 		longVal = long.Push(delay[i%shortWindow])
 		delay[i%shortWindow] = power[i]
+	}
+	return 0, false
+}
+
+// backdateStart back-dates the comparator's fire index by the short window
+// length, clamping at the buffer head: a fire within the first window
+// back-dates to the buffer start rather than a negative index.
+func backdateStart(fire, shortWindow int) int {
+	start := fire - shortWindow + 1
+	if start < 0 {
+		return 0
+	}
+	return start
+}
+
+// energyDetectPrefix reproduces EnergyDetect's comparator from the power
+// prefix-sum array (prefix = dsp.PrefixSumInto(_, power)) in O(1) work per
+// position instead of two moving-average pushes per sample — the receiver's
+// default sync path. Undetected buffers, where the comparator scans every
+// sample, drop from the round's dominant cost to a single pass.
+//
+// The reference detector's state at check index i is fully determined by
+// prefix sums: the short-term mean is the last shortWindow samples, and the
+// long-term reference — whose delay line re-pushes the warmup samples, so
+// its push sequence is power[0:sw] ++ power[0:i−sw] — is the mean of the
+// last min(i, longWindow) entries of that sequence. The three cases below
+// are that tail straddling (or not) the warmup/replay seam. Window means
+// differ from the streaming accumulator only in floating-point association
+// order; decisions are identical on every covered scenario (see
+// TestSyncEquivalence*) and exactly identical on integer-valued power
+// (FuzzFrameSync asserts agreement).
+//
+//cbma:hotpath
+func energyDetectPrefix(prefix []float64, longWindow int, thresholdDB float64, shortWindow int) (start int, found bool) {
+	n := len(prefix) - 1
+	if n <= 0 {
+		return 0, false
+	}
+	if longWindow < 2 {
+		longWindow = 2
+	}
+	if shortWindow < 1 {
+		shortWindow = 1
+	}
+	if n <= shortWindow {
+		return 0, false // warmup consumes the whole buffer
+	}
+	factor := dsp.FromDB(thresholdDB)
+	sw, lw := shortWindow, longWindow
+	for i := sw; i < n; i++ {
+		s := (prefix[i+1] - prefix[i+1-sw]) / float64(sw)
+		r := i - sw // samples replayed through the delay line
+		var longVal float64
+		switch {
+		case r >= lw:
+			longVal = (prefix[r] - prefix[r-lw]) / float64(lw)
+		case i < lw:
+			// Ring not yet full: every push so far contributes.
+			longVal = (prefix[sw] + prefix[r]) / float64(i)
+		default:
+			// Tail of the warmup block plus all replayed samples.
+			k := lw - r
+			longVal = (prefix[sw] - prefix[sw-k] + prefix[r]) / float64(lw)
+		}
+		if longVal > 0 && s > factor*longVal {
+			return backdateStart(i, sw), true
+		}
 	}
 	return 0, false
 }

@@ -133,6 +133,12 @@ type Scenario struct {
 	// bit-identical Metrics — rounds draw from per-round RNG streams and
 	// commit in round order — so Workers is purely a wall-clock knob.
 	Workers int
+	// ReferenceSync forces the receiver's pre-optimization timing
+	// acquisition (rx.Config.ReferenceSync): streaming energy detection and
+	// the exhaustive alignment scan. The sync equivalence tests run every
+	// scenario through both paths and require bit-identical Metrics, which
+	// is the guarantee that lets the fast path be the default.
+	ReferenceSync bool
 	// Fault, when non-nil, enables the deterministic fault-injection layer
 	// (internal/fault): stuck impedance switches, clock drift, mid-frame
 	// energy outages, ACK loss/corruption, interference bursts, deep fades
