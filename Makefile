@@ -2,7 +2,7 @@
 # commands. The repo is stdlib-only: no tool downloads are needed for
 # build/test/lint (staticcheck/govulncheck are CI extras).
 
-.PHONY: build test lint fmt fuzz bench
+.PHONY: build test lint fmt fuzz bench serve-test
 
 build:
 	go build ./...
@@ -27,3 +27,9 @@ fuzz:
 
 bench:
 	go test ./internal/sim/ -run '^$$' -bench BenchmarkCampaignFig8a -benchtime 1x
+
+# The campaign-service layers and daemon under the race detector (the
+# cbmad e2e equivalence test runs real campaigns; see DESIGN.md,
+# "Service architecture").
+serve-test:
+	go test -race -count=1 ./internal/serve/... ./cmd/cbmad/

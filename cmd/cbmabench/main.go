@@ -99,6 +99,14 @@ func run(args []string, now func() time.Time) error {
 		fmt.Fprintf(os.Stderr, "cbmabench: debug endpoint at http://%s/debug/pprof/ (registry at /debug/vars)\n", bound)
 	}
 
+	// The base-scenario content hash ties this run to cbmasim output and
+	// cbmad cache entries built from the same canonical configuration.
+	baseHash := ""
+	if h, herr := opts.BaseScenario().Hash(); herr == nil {
+		baseHash = h
+		fmt.Printf("base scenario hash: %s\n\n", h)
+	}
+
 	var selected []paperbench.Experiment
 	if *exp == "all" {
 		selected = paperbench.All()
@@ -129,9 +137,7 @@ func run(args []string, now func() time.Time) error {
 	man := o.Manifest("cbmabench")
 	man.Seed = opts.Seed
 	man.Config = map[string]any{"experiments": ran, "options": opts}
-	if h, herr := obs.HashJSON(man.Config); herr == nil {
-		man.ScenarioHash = h
-	}
+	man.ScenarioHash = baseHash
 	if werr := obs.WriteManifest(filepath.Join(*obsOut, obs.ManifestFile), man); err == nil {
 		err = werr
 	}

@@ -233,9 +233,7 @@ func run(ctx context.Context, args []string) error {
 		man.Workers = scn.Workers
 		man.Interrupted = interrupted
 		man.Result = result
-		hscn := scn
-		hscn.Obs = nil
-		if h, herr := obs.HashJSON(hscn); herr == nil {
+		if h, herr := scn.Hash(); herr == nil {
 			man.ScenarioHash = h
 		}
 		if werr := obs.WriteManifest(filepath.Join(*obsOut, obs.ManifestFile), man); err == nil {
@@ -301,6 +299,12 @@ func run(ctx context.Context, args []string) error {
 	m := rep.Final
 	fmt.Printf("tags=%d family=%s distance=%.2fm bitrate=%.3gbps packets=%d\n",
 		*tags, fam, *distance, *bitrate, *packets)
+	// The content hash is the scenario's identity in result caches and run
+	// manifests (sim.Scenario.Hash); printing it here lets a CLI run be
+	// correlated with cbmad cache entries and BENCH manifests.
+	if h, herr := scn.Hash(); herr == nil {
+		fmt.Printf("  scenario hash          %s\n", h)
+	}
 	fmt.Printf("  frames sent/delivered  %d / %d\n", m.FramesSent, m.FramesDelivered)
 	fmt.Printf("  frame error rate       %.4f\n", m.FER)
 	fmt.Printf("  goodput                %.1f kbps\n", m.GoodputBps/1e3)
@@ -337,7 +341,11 @@ func run(ctx context.Context, args []string) error {
 }
 
 // runFaultSweep runs the BER-vs-fault-rate curve for one knob and prints it
-// as a table. An interrupt flushes the points finished so far.
+// as a table. An interrupt flushes the points finished so far. A partial
+// failure (*cbma.CampaignError) still prints the healthy points' rows —
+// failed points are marked in the table, every per-point error is listed,
+// and the error propagates so the process exits non-zero instead of
+// presenting a silently incomplete curve as a complete one.
 func runFaultSweep(ctx context.Context, base cbma.Scenario, knob string, rates []float64) error {
 	var (
 		series cbma.Series
@@ -352,12 +360,27 @@ func runFaultSweep(ctx context.Context, base cbma.Scenario, knob string, rates [
 		return fmt.Errorf("unknown fault-sweep knob %q (want ack-loss or outage)", knob)
 	}
 	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
-	if err != nil && !interrupted {
+	var cerr *cbma.CampaignError
+	partial := errors.As(err, &cerr)
+	if err != nil && !interrupted && !partial {
 		return err
 	}
+	failed := make(map[int]bool)
+	if partial {
+		for _, pe := range cerr.Points {
+			failed[pe.Point] = true
+		}
+	}
 	fmt.Printf("fault sweep: %s (tags=%d packets=%d)\n", series.Name, base.NumTags, base.Packets)
+	if h, herr := base.Hash(); herr == nil {
+		fmt.Printf("  base scenario hash %s\n", h)
+	}
 	fmt.Printf("  %-8s %-8s %-14s %s\n", "rate", "FER", "sent/delivered", "degradation")
-	for _, pt := range series.Points {
+	for i, pt := range series.Points {
+		if failed[i] {
+			fmt.Printf("  %-8.3f %-8s %-14s %s\n", pt.X, "-", "-", "FAILED (see below)")
+			continue
+		}
 		m := pt.Metrics
 		degr := "-"
 		switch {
@@ -371,6 +394,17 @@ func runFaultSweep(ctx context.Context, base cbma.Scenario, knob string, rates [
 	}
 	if interrupted {
 		fmt.Println("  interrupted — points above cover the sweep finished before SIGINT")
+		return err
+	}
+	if partial {
+		fmt.Fprintf(os.Stderr, "cbmasim: %d of %d sweep points failed:\n", len(cerr.Points), len(rates))
+		for _, pe := range cerr.Points {
+			rate := "?"
+			if pe.Point >= 0 && pe.Point < len(rates) {
+				rate = fmt.Sprintf("%.3f", rates[pe.Point])
+			}
+			fmt.Fprintf(os.Stderr, "  point %d (rate %s): %v\n", pe.Point, rate, pe.Err)
+		}
 		return err
 	}
 	return nil

@@ -46,6 +46,15 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add shifts the value by delta — the level-tracking use of a gauge (queue
+// depths, in-flight counts), where concurrent writers adjust rather than
+// overwrite.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
 // Value reads the current value.
 func (g *Gauge) Value() int64 {
 	if g == nil {

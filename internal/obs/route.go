@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// Broadcaster is an io.Writer that routes a JSONL event stream to many
+// consumers: everything written is retained (up to HistoryLimit) so a
+// late subscriber replays the stream from the start, and live subscribers
+// receive subsequent writes as they happen. It is the per-request event
+// routing behind the daemon's streaming endpoint: a Sink writes into a
+// Broadcaster instead of a file, and each HTTP reader subscribes.
+//
+// Writes never block on consumers: a subscriber that falls behind its
+// channel buffer is dropped (its channel closes early) rather than
+// stalling the sink's writer goroutine — the same never-block-the-run
+// discipline as Sink.Emit.
+type Broadcaster struct {
+	mu        sync.Mutex
+	history   []byte
+	truncated int64
+	subs      map[chan []byte]struct{}
+	closed    bool
+	limit     int
+}
+
+// HistoryLimit bounds a Broadcaster's retained bytes (1 MiB). Beyond it,
+// new writes still reach live subscribers but are not replayed to late
+// ones; Truncated counts what replay lost.
+const HistoryLimit = 1 << 20
+
+// subscriberBuffer is each subscriber's pending-chunk capacity.
+const subscriberBuffer = 256
+
+// NewBroadcaster returns a broadcaster retaining up to limit history
+// bytes (non-positive selects HistoryLimit).
+func NewBroadcaster(limit int) *Broadcaster {
+	if limit <= 0 {
+		limit = HistoryLimit
+	}
+	return &Broadcaster{subs: make(map[chan []byte]struct{}), limit: limit}
+}
+
+// Write implements io.Writer. It always reports full success: event
+// delivery is best-effort by design and must never fail the producer.
+func (b *Broadcaster) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return len(p), nil
+	}
+	if len(b.history) < b.limit {
+		keep := p
+		if room := b.limit - len(b.history); len(keep) > room {
+			keep = keep[:room]
+			b.truncated += int64(len(p) - room)
+		}
+		b.history = append(b.history, keep...)
+	} else {
+		b.truncated += int64(len(p))
+	}
+	if len(b.subs) > 0 {
+		// Subscriber channels escape the lock, so hand each its own copy.
+		chunk := make([]byte, len(p))
+		copy(chunk, p)
+		for ch := range b.subs {
+			select {
+			case ch <- chunk:
+			default:
+				// Slow consumer: cut it loose instead of blocking the sink.
+				delete(b.subs, ch)
+				close(ch)
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// Subscribe returns the retained history and a channel of subsequent
+// chunks. The channel closes when the broadcaster closes or the subscriber
+// falls too far behind; the caller must eventually call the returned
+// cancel function (idempotent, safe after close).
+func (b *Broadcaster) Subscribe() (history []byte, live <-chan []byte, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	history = make([]byte, len(b.history))
+	copy(history, b.history)
+	ch := make(chan []byte, subscriberBuffer)
+	if b.closed {
+		close(ch)
+		return history, ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	return history, ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// Close ends the stream: live subscriber channels close after everything
+// already written, and the history stays available to later Subscribe
+// calls (a finished job's events remain replayable). Implements io.Closer
+// so a Sink over a Broadcaster closes it on drain.
+func (b *Broadcaster) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+	return nil
+}
+
+// Truncated reports bytes dropped from replay history by the limit.
+func (b *Broadcaster) Truncated() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.truncated
+}
+
+var _ io.WriteCloser = (*Broadcaster)(nil)

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBroadcasterReplayAndLive(t *testing.T) {
+	b := NewBroadcaster(0)
+	if _, err := b.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	history, live, cancel := b.Subscribe()
+	defer cancel()
+	if string(history) != "one\n" {
+		t.Errorf("history = %q, want earlier write replayed", history)
+	}
+	if _, err := b.Write([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(<-live); got != "two\n" {
+		t.Errorf("live chunk = %q, want %q", got, "two\n")
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-live; open {
+		t.Error("live channel still open after Close")
+	}
+	// History survives close so finished streams stay replayable.
+	history, live2, cancel2 := b.Subscribe()
+	defer cancel2()
+	if string(history) != "one\ntwo\n" {
+		t.Errorf("post-close history = %q", history)
+	}
+	if _, open := <-live2; open {
+		t.Error("post-close subscription delivered live data")
+	}
+}
+
+func TestBroadcasterSlowSubscriberDropped(t *testing.T) {
+	b := NewBroadcaster(0)
+	_, live, cancel := b.Subscribe()
+	defer cancel()
+	for i := 0; i < subscriberBuffer+8; i++ {
+		if _, err := b.Write([]byte("x\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The channel was closed once its buffer overran; drain to the close.
+	n := 0
+	for range live {
+		n++
+	}
+	if n != subscriberBuffer {
+		t.Errorf("received %d chunks before drop, want %d", n, subscriberBuffer)
+	}
+	// The producer is unaffected.
+	if _, err := b.Write([]byte("y\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcasterHistoryLimit(t *testing.T) {
+	b := NewBroadcaster(8)
+	if _, err := b.Write([]byte(strings.Repeat("a", 6))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte(strings.Repeat("b", 6))); err != nil {
+		t.Fatal(err)
+	}
+	history, _, cancel := b.Subscribe()
+	cancel()
+	if len(history) != 8 {
+		t.Errorf("history length = %d, want capped at 8", len(history))
+	}
+	if got := b.Truncated(); got != 4 {
+		t.Errorf("Truncated = %d, want 4", got)
+	}
+}
+
+func TestBroadcasterSinkIntegration(t *testing.T) {
+	b := NewBroadcaster(0)
+	s := NewSink(b, 16)
+	s.Emit(Event{Type: "hello"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	history, live, cancel := b.Subscribe()
+	defer cancel()
+	if !strings.Contains(string(history), `"type":"hello"`) {
+		t.Errorf("history = %q, want the emitted event", history)
+	}
+	if _, open := <-live; open {
+		t.Error("broadcaster not closed by sink drain")
+	}
+}

@@ -46,12 +46,12 @@ var (
 	debugPublish sync.Once
 )
 
-// ServeDebug exposes the registry as the expvar variable "cbma" and serves
-// the net/http/pprof and expvar endpoints on addr from a background
-// goroutine, returning the bound address (addr may use port 0). Listen
-// errors surface synchronously; the serve loop itself is best-effort and
-// runs for the process lifetime.
-func ServeDebug(addr string, r *Registry) (string, error) {
+// DebugHandler exposes r as the expvar variable "cbma" and returns the
+// handler carrying the net/http/pprof and expvar endpoints (the default
+// mux, where pprof registers itself). Servers that already own a listener
+// — cbmad mounts this under /debug/ — use the handler directly; ServeDebug
+// wraps it with its own listener for the CLI tools.
+func DebugHandler(r *Registry) http.Handler {
 	debugMu.Lock()
 	debugReg = r
 	debugMu.Unlock()
@@ -63,10 +63,20 @@ func ServeDebug(addr string, r *Registry) (string, error) {
 			return reg.Snapshot()
 		}))
 	})
+	return http.DefaultServeMux
+}
+
+// ServeDebug exposes the registry as the expvar variable "cbma" and serves
+// the net/http/pprof and expvar endpoints on addr from a background
+// goroutine, returning the bound address (addr may use port 0). Listen
+// errors surface synchronously; the serve loop itself is best-effort and
+// runs for the process lifetime.
+func ServeDebug(addr string, r *Registry) (string, error) {
+	h := DebugHandler(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	go func() { _ = http.Serve(ln, nil) }()
+	go func() { _ = http.Serve(ln, h) }()
 	return ln.Addr().String(), nil
 }

@@ -64,6 +64,12 @@ func (s *Sink) run() {
 				s.written.Add(1)
 			}
 		}
+		// Flush whenever the ring runs dry so a live consumer (the daemon's
+		// event-streaming endpoint) sees events as they happen instead of at
+		// Close; under sustained load the buffer still amortizes writes.
+		if len(s.events) == 0 && err == nil {
+			err = bw.Flush()
+		}
 	}
 	if ferr := bw.Flush(); err == nil {
 		err = ferr

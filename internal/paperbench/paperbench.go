@@ -53,6 +53,12 @@ func Quick() Options {
 // (1–11) and internal/core's deployment labels (200s).
 const seedAblationSelect uint64 = 301
 
+// BaseScenario exposes the canonical scenario an option set implies — the
+// identity experiments start from before per-figure modifications. cbmabench
+// hashes it (sim.Scenario.Hash) into its run manifest so BENCH results are
+// correlatable with cbmasim runs and cbmad cache entries.
+func (o Options) BaseScenario() sim.Scenario { return o.base() }
+
 // base builds the canonical scenario for an option set.
 func (o Options) base() sim.Scenario {
 	scn := sim.DefaultScenario()

@@ -1,0 +1,340 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbma/internal/obs"
+	"cbma/internal/serve/core"
+	"cbma/internal/sim"
+)
+
+// fakeRunner returns canned per-point metrics instantly, recording each
+// call's point count so tests can assert coalescing.
+type fakeRunner struct {
+	mu     sync.Mutex
+	calls  [][]int // per call: seeds of the executed points
+	block  chan struct{}
+	failAt map[int64]bool // seeds that fail
+}
+
+func (f *fakeRunner) Run(ctx context.Context, points []sim.Scenario, opts sim.CampaignOpts) ([]sim.Metrics, error) {
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+		}
+	}
+	seeds := make([]int, len(points))
+	ms := make([]sim.Metrics, len(points))
+	var failed []*sim.PointError
+	for i, p := range points {
+		seeds[i] = int(p.Seed)
+		if f.failAt[p.Seed] {
+			failed = append(failed, &sim.PointError{What: opts.What, Point: i, Err: errors.New("injected")})
+			continue
+		}
+		ms[i] = sim.Metrics{NumTags: p.NumTags, FramesSent: int(p.Seed)}
+	}
+	f.mu.Lock()
+	f.calls = append(f.calls, seeds)
+	f.mu.Unlock()
+	if len(failed) > 0 {
+		return ms, &sim.CampaignError{Points: failed}
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range ms {
+			ms[i].Interrupted = true
+		}
+		return ms, err
+	}
+	return ms, nil
+}
+
+func (f *fakeRunner) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+func point(seed int64) sim.Scenario {
+	scn := sim.DefaultScenario()
+	scn.Seed = seed
+	scn.Packets = 10
+	return scn
+}
+
+func newBatcher(t *testing.T, runner core.Runner, cfg Config) *Batcher {
+	t.Helper()
+	if cfg.Service == nil {
+		cfg.Service = &core.Service{Runner: runner, Obs: obs.New(obs.Config{})}
+	}
+	b := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = b.Close(ctx)
+	})
+	return b
+}
+
+// Submissions below MaxBatch ride the max-wait timer into one shared
+// batch: one Runner call, results split back per job.
+func TestBatcherCoalescesByTimer(t *testing.T) {
+	runner := &fakeRunner{}
+	b := newBatcher(t, runner, Config{MaxBatch: 100, MaxWait: 30 * time.Millisecond})
+
+	j1, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(1), point(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(3)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := j1.Results()
+	r2, err2 := j2.Results()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("job errors: %v, %v", err1, err2)
+	}
+	if len(r1) != 2 || len(r2) != 1 {
+		t.Fatalf("result sizes %d, %d; want 2, 1", len(r1), len(r2))
+	}
+	if r1[0].Metrics.FramesSent != 1 || r1[1].Metrics.FramesSent != 2 || r2[0].Metrics.FramesSent != 3 {
+		t.Errorf("results misrouted: %+v / %+v", r1, r2)
+	}
+	if got := runner.callCount(); got != 1 {
+		t.Errorf("runner ran %d times, want 1 (coalesced batch)", got)
+	}
+	if j1.Batch() != j2.Batch() || j1.Batch() == 0 {
+		t.Errorf("jobs ran in batches %d and %d, want the same non-zero batch", j1.Batch(), j2.Batch())
+	}
+}
+
+// Reaching MaxBatch flushes immediately, without waiting for the timer.
+func TestBatcherFlushesOnSize(t *testing.T) {
+	runner := &fakeRunner{}
+	o := obs.New(obs.Config{})
+	b := newBatcher(t, runner, Config{
+		Service:  &core.Service{Runner: runner, Obs: o},
+		MaxBatch: 3,
+		MaxWait:  time.Hour, // the timer must not be what flushes
+		Obs:      o,
+	})
+	var jobs []*Job
+	for seed := int64(1); seed <= 3; seed++ {
+		j, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(seed)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		if _, err := j.Results(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := runner.callCount(); got != 1 {
+		t.Errorf("runner ran %d times, want 1", got)
+	}
+	snap := o.Registry().Snapshot()
+	if got := counterValue(snap, "serve.batch.flush.size"); got != 1 {
+		t.Errorf("size flushes = %d, want 1", got)
+	}
+	if got := counterValue(snap, "serve.batch.flush.timer"); got != 0 {
+		t.Errorf("timer flushes = %d, want 0", got)
+	}
+}
+
+// Different classes never share a batch.
+func TestBatcherClassesPartition(t *testing.T) {
+	runner := &fakeRunner{}
+	b := newBatcher(t, runner, Config{MaxWait: 20 * time.Millisecond})
+	ja, _ := b.Submit(context.Background(), Request{Class: "a", Points: []sim.Scenario{point(1)}})
+	jb, _ := b.Submit(context.Background(), Request{Class: "b", Points: []sim.Scenario{point(2)}})
+	if _, err := ja.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if got := runner.callCount(); got != 2 {
+		t.Errorf("runner ran %d times, want 2 (one per class)", got)
+	}
+	if ja.Batch() == jb.Batch() {
+		t.Errorf("different classes shared batch %d", ja.Batch())
+	}
+}
+
+// One job's failing point must not contaminate its batch-mates: the
+// healthy job completes clean, the failing one gets a job-local
+// CampaignError with job-local indices.
+func TestBatcherIsolatesJobFailures(t *testing.T) {
+	runner := &fakeRunner{failAt: map[int64]bool{30: true}}
+	b := newBatcher(t, runner, Config{MaxBatch: 100, MaxWait: 20 * time.Millisecond})
+
+	healthy, _ := b.Submit(context.Background(), Request{What: "healthy", Points: []sim.Scenario{point(1), point(2)}})
+	failing, _ := b.Submit(context.Background(), Request{What: "failing", Points: []sim.Scenario{point(20), point(30)}})
+
+	if _, err := healthy.Results(); err != nil {
+		t.Errorf("healthy job failed: %v", err)
+	}
+	res, err := failing.Results()
+	var cerr *sim.CampaignError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("failing job err = %v, want *sim.CampaignError", err)
+	}
+	if len(cerr.Points) != 1 || cerr.Points[0].Point != 1 {
+		t.Errorf("failure = %+v, want job-local point 1", cerr.Points)
+	}
+	if res[0].Err != "" || res[1].Err == "" {
+		t.Errorf("per-point errors misrouted: %+v", res)
+	}
+}
+
+// A job cancelled while queued never executes; its batch-mates do.
+func TestBatcherCancelledJobSkipped(t *testing.T) {
+	release := make(chan struct{})
+	runner := &fakeRunner{block: release}
+	b := newBatcher(t, runner, Config{MaxBatch: 1, MaxWait: time.Hour, Parallel: 1})
+
+	// Occupy the single executor slot so the next batch stays queued.
+	blocker, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed, err := b.Submit(ctx, Request{Points: []sim.Scenario{point(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+
+	if _, err := blocker.Results(); err != nil {
+		t.Errorf("blocker failed: %v", err)
+	}
+	if _, err := doomed.Results(); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled job err = %v, want context.Canceled", err)
+	}
+	// Only the blocker's point may have executed.
+	for _, call := range runner.calls {
+		for _, seed := range call {
+			if seed == 2 {
+				t.Error("cancelled job's point executed anyway")
+			}
+		}
+	}
+}
+
+// Close drains: pending work flushes and completes, then submissions are
+// refused.
+func TestBatcherCloseDrains(t *testing.T) {
+	runner := &fakeRunner{}
+	o := obs.New(obs.Config{})
+	b := New(Config{
+		Service:  &core.Service{Runner: runner, Obs: o},
+		MaxBatch: 100,
+		MaxWait:  time.Hour, // drain, not the timer, must flush
+		Obs:      o,
+	})
+	j, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Close returned before the drained job completed")
+	}
+	if _, err := j.Results(); err != nil {
+		t.Errorf("drained job failed: %v", err)
+	}
+	if _, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(2)}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if got := counterValue(o.Registry().Snapshot(), "serve.batch.flush.drain"); got != 1 {
+		t.Errorf("drain flushes = %d, want 1", got)
+	}
+}
+
+// A drain that overruns its deadline cancels in-flight work and still
+// unwinds: jobs complete (with the cancellation surfaced), Close reports
+// ErrDrainTime.
+func TestBatcherCloseDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	runner := &fakeRunner{block: release}
+	b := New(Config{
+		Service: &core.Service{Runner: runner, Obs: obs.New(obs.Config{})},
+		MaxWait: time.Millisecond,
+	})
+	j, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := b.Close(ctx); !errors.Is(err, ErrDrainTime) {
+		t.Fatalf("Close = %v, want ErrDrainTime", err)
+	}
+	if _, err := j.Results(); !errors.Is(err, context.Canceled) {
+		t.Errorf("job err after deadline drain = %v, want context.Canceled", err)
+	}
+}
+
+// An empty submission is refused up front.
+func TestBatcherRejectsEmpty(t *testing.T) {
+	b := newBatcher(t, &fakeRunner{}, Config{})
+	if _, err := b.Submit(context.Background(), Request{}); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("Submit(no points) = %v, want ErrNoPoints", err)
+	}
+}
+
+// Concurrent submitters all complete with their own results — the
+// routing survives the race detector.
+func TestBatcherConcurrentSubmitters(t *testing.T) {
+	runner := &fakeRunner{}
+	b := newBatcher(t, runner, Config{MaxBatch: 8, MaxWait: 5 * time.Millisecond, Parallel: 2})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for seed := int64(1); seed <= 40; seed++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			j, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(seed)}})
+			if err != nil {
+				bad.Add(1)
+				return
+			}
+			res, err := j.Results()
+			if err != nil || len(res) != 1 || res[0].Metrics.FramesSent != int(seed) {
+				bad.Add(1)
+			}
+		}(seed)
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("%d submitters got wrong results", n)
+	}
+}
+
+// counterValue digs a counter out of a registry snapshot.
+func counterValue(snap obs.Snapshot, name string) int64 {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}

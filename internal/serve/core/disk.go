@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"cbma/internal/obs"
+)
+
+// DiskStore is a content-addressed on-disk Store: each entry lives in its
+// own file named by Key.ID() (which embeds the scenario's content hash),
+// as JSON carrying a SHA-256 checksum over the exact payload bytes. Get
+// verifies the checksum and treats any damage — truncation, bit rot, a
+// partial write that survived a crash, malformed JSON — as a miss,
+// deleting the offending file so the key is recomputed and rewritten
+// cleanly. Writes go through a temp file and rename, so concurrent readers
+// never observe a half-written entry.
+type DiskStore struct {
+	dir string
+	o   *obs.Observer
+}
+
+// diskEntry is the file format. Payload is the canonical JSON of the Entry
+// and Sum its hex SHA-256; keeping the payload as raw bytes means the
+// checksum covers exactly what is decoded, with no re-marshalling gap.
+type diskEntry struct {
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir. The
+// observer, when non-nil, counts corruption evictions
+// (serve.cache.disk_corrupt) and write failures (serve.cache.disk_errors).
+func NewDiskStore(dir string, o *obs.Observer) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskStore{dir: dir, o: o}, nil
+}
+
+// path maps a key to its entry file.
+func (s *DiskStore) path(k Key) string {
+	return filepath.Join(s.dir, k.ID()+".json")
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(k Key) (Entry, bool) {
+	b, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return Entry{}, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(b, &de); err != nil {
+		s.evictCorrupt(k)
+		return Entry{}, false
+	}
+	sum := sha256.Sum256(de.Payload)
+	if hex.EncodeToString(sum[:]) != de.Sum {
+		s.evictCorrupt(k)
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(de.Payload, &e); err != nil {
+		s.evictCorrupt(k)
+		return Entry{}, false
+	}
+	// A file renamed or copied under the wrong name must not alias: the
+	// entry's own key is part of the checksummed payload.
+	if e.Key != k {
+		s.evictCorrupt(k)
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// evictCorrupt removes a damaged entry file and counts the eviction; the
+// next Put recreates it from a fresh computation.
+func (s *DiskStore) evictCorrupt(k Key) {
+	_ = os.Remove(s.path(k))
+	s.o.Counter("serve.cache.disk_corrupt").Inc()
+	if s.o.EmitsEvents() {
+		s.o.Emit("cache_corrupt", map[string]any{"key": k.ID()})
+	}
+}
+
+// Put implements Store. Failures are counted, not returned: a full or
+// read-only disk degrades the cache, never the request.
+func (s *DiskStore) Put(k Key, e Entry) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		s.o.Counter("serve.cache.disk_errors").Inc()
+		return
+	}
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(diskEntry{
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	}); err != nil {
+		s.o.Counter("serve.cache.disk_errors").Inc()
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		s.o.Counter("serve.cache.disk_errors").Inc()
+		return
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		s.o.Counter("serve.cache.disk_errors").Inc()
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.o.Counter("serve.cache.disk_errors").Inc()
+	}
+}

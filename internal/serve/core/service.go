@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"cbma/internal/obs"
+	"cbma/internal/sim"
+)
+
+// PointResult is the serving-layer result of one campaign point: the
+// metrics, where they came from, and the content key they are (or would
+// be) cached under. Err is the per-point failure, if any; failed points
+// carry the zero Metrics, mirroring sim.RunCampaignContext.
+type PointResult struct {
+	Metrics      sim.Metrics `json:"metrics"`
+	Cached       bool        `json:"cached"`
+	ScenarioHash string      `json:"scenario_hash"`
+	Err          string      `json:"error,omitempty"`
+}
+
+// Service answers campaign requests from the cache when it can and from
+// the Runner when it must. It is the layer the batcher and the daemon sit
+// on: pure request/response, no queueing, no transport.
+type Service struct {
+	// Runner executes cache misses. Required.
+	Runner Runner
+	// Store, when non-nil, is probed before and filled after execution.
+	Store Store
+	// Obs, when non-nil, counts cache traffic (serve.cache.hits,
+	// serve.cache.misses, serve.cache.skipped) and point executions
+	// (serve.points.executed, serve.points.failed).
+	Obs *obs.Observer
+}
+
+// Run resolves every point — each either served from the store or
+// executed through the Runner as one sub-campaign sharing opts' worker
+// budget — and returns results indexed like points. Points whose hash
+// cannot be computed (invalid scenarios) fail individually without
+// blocking the rest.
+//
+// The aggregate error mirrors sim.RunCampaignContext: a *sim.CampaignError
+// carrying every failed point (indexed into the REQUEST's points, not the
+// executed subset), or the context's error when the run was cancelled.
+// Results of failed, interrupted or cancelled points are never cached;
+// cached results are only ever complete, healthy metrics.
+func (s *Service) Run(ctx context.Context, points []sim.Scenario, opts sim.CampaignOpts) ([]PointResult, error) {
+	out := make([]PointResult, len(points))
+	var (
+		missIdx []int          // request indices needing execution
+		missPts []sim.Scenario // their scenarios, in order
+	)
+	for i, scn := range points {
+		h, err := scn.Hash()
+		if err != nil {
+			out[i].Err = err.Error()
+			s.Obs.Counter("serve.points.failed").Inc()
+			continue
+		}
+		out[i].ScenarioHash = h
+		k := Key{ScenarioHash: h, Seed: scn.Seed}
+		if s.Store != nil {
+			if e, ok := s.Store.Get(k); ok {
+				out[i].Metrics = e.Metrics
+				out[i].Cached = true
+				s.Obs.Counter("serve.cache.hits").Inc()
+				continue
+			}
+		}
+		s.Obs.Counter("serve.cache.misses").Inc()
+		missIdx = append(missIdx, i)
+		missPts = append(missPts, scn)
+	}
+
+	var failed []*sim.PointError
+	runErr := error(nil)
+	if len(missPts) > 0 {
+		ms, err := s.Runner.Run(ctx, missPts, opts)
+		var cerr *sim.CampaignError
+		switch {
+		case errors.As(err, &cerr):
+			// Re-index the per-point errors into the request's coordinates
+			// and mark the failed slots before the caching loop below.
+			for _, pe := range cerr.Points {
+				reqIdx := missIdx[pe.Point]
+				out[reqIdx].Err = pe.Err.Error()
+				failed = append(failed, &sim.PointError{What: pe.What, Point: reqIdx, Err: pe.Err})
+				s.Obs.Counter("serve.points.failed").Inc()
+			}
+		case err != nil:
+			runErr = err
+		}
+		for j, reqIdx := range missIdx {
+			if j >= len(ms) {
+				break
+			}
+			out[reqIdx].Metrics = ms[j]
+			if out[reqIdx].Err != "" {
+				continue
+			}
+			s.Obs.Counter("serve.points.executed").Inc()
+			if ms[j].Interrupted || ctx.Err() != nil {
+				// A cancelled run leaves partial metrics; caching them would
+				// serve truncated results as if complete.
+				s.Obs.Counter("serve.cache.skipped").Inc()
+				continue
+			}
+			if s.Store != nil {
+				k := Key{ScenarioHash: out[reqIdx].ScenarioHash, Seed: missPts[j].Seed}
+				s.Store.Put(k, Entry{Key: k, Metrics: ms[j]})
+			}
+		}
+	}
+
+	// Hash failures count as failed points too, so the aggregate error is
+	// complete; collect them in request order for a stable report.
+	for i := range out {
+		if out[i].Err != "" && out[i].ScenarioHash == "" {
+			failed = append(failed, &sim.PointError{What: opts.What, Point: i, Err: errors.New(out[i].Err)})
+		}
+	}
+	if len(failed) > 0 {
+		sortPointErrors(failed)
+		return out, &sim.CampaignError{Points: failed}
+	}
+	if runErr != nil {
+		return out, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// sortPointErrors orders a failure list by request index (insertion sort:
+// the list is tiny and mostly ordered already).
+func sortPointErrors(pes []*sim.PointError) {
+	for i := 1; i < len(pes); i++ {
+		for j := i; j > 0 && pes[j-1].Point > pes[j].Point; j-- {
+			pes[j-1], pes[j] = pes[j], pes[j-1]
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cbma/internal/fault"
+)
+
+// metricsJSON renders Metrics the way every serving and caching layer
+// transports them. Comparing the encodings (rather than reflect.DeepEqual)
+// asserts exactly the contract a cache relies on: the bytes a client
+// receives are identical run to run. encoding/json emits the shortest
+// float representation that round-trips exactly, so byte equality here is
+// bit equality of the values.
+func metricsJSON(t *testing.T, ms []Metrics) string {
+	t.Helper()
+	b, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunCampaignRepeatDeterminism is the soundness premise of the result
+// cache: re-running RunCampaignContext with the same scenarios must yield
+// bit-identical Metrics, including under an active fault profile and at a
+// different worker budget. If this ever fails, serving a cached result for
+// an equal Scenario.Hash would be wrong — so it is pinned here, next to
+// the hash.
+func TestRunCampaignRepeatDeterminism(t *testing.T) {
+	clean := DefaultScenario()
+	clean.Packets = 30
+
+	faulted := DefaultScenario()
+	faulted.Packets = 30
+	faulted.PowerControl = true
+	faulted.RandomInitialImpedance = true
+	faulted.Fault = &fault.Profile{
+		AckLossProb:      0.2,
+		EnergyOutageProb: 0.1,
+		PanicProb:        0.1,
+		TransientErrProb: 0.1,
+		MaxRoundRetries:  2,
+	}
+
+	cases := map[string]Scenario{"clean": clean, "faulted": faulted}
+	for name, scn := range cases {
+		t.Run(name, func(t *testing.T) {
+			points := []Scenario{scn}
+			first, err := RunCampaignContext(context.Background(), points, CampaignOpts{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := metricsJSON(t, first)
+			for run, workers := range []int{1, 3} {
+				again, err := RunCampaignContext(context.Background(), points, CampaignOpts{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := metricsJSON(t, again); got != ref {
+					t.Errorf("run %d (workers=%d): metrics differ from first run\n got %s\nwant %s", run, workers, got, ref)
+				}
+			}
+		})
+	}
+}
