@@ -2,7 +2,7 @@
 # commands. The repo is stdlib-only: no tool downloads are needed for
 # build/test/lint (staticcheck/govulncheck are CI extras).
 
-.PHONY: build test lint fmt fuzz bench serve-test
+.PHONY: build test lint fmt fuzz bench serve-test leak-test
 
 build:
 	go build ./...
@@ -10,8 +10,8 @@ build:
 test:
 	go test ./...
 
-# The repo's own determinism/hot-path analyzers (see DESIGN.md,
-# "Determinism invariants & lint rules").
+# The repo's own determinism/hot-path/concurrency analyzers (see
+# DESIGN.md, "Determinism invariants & lint rules"; add -json for JSONL).
 lint:
 	go vet ./...
 	go run ./cmd/cbmalint ./...
@@ -33,3 +33,8 @@ bench:
 # "Service architecture").
 serve-test:
 	go test -race -count=1 ./internal/serve/... ./cmd/cbmad/
+
+# The goroutine-leak accounting CI runs (internal/leaktest is wired into
+# every obs/serve/cbmad test package via TestMain).
+leak-test:
+	go test -race -count=1 -run 'Leak|Close|Drain|Churn|Timer|Daemon|Service' ./internal/obs/... ./internal/serve/... ./cmd/cbmad/

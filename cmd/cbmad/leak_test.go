@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"cbma/internal/leaktest"
+)
+
+// TestMain fails the package run if any test leaves a goroutine behind.
+// The net/http transport keeps idle keep-alive connections (and their
+// readLoop/writeLoop goroutines) pooled between tests by design; each
+// daemon's cleanup calls CloseIdleConnections, and the ignore patterns
+// below cover the window where a connection is still unwinding.
+func TestMain(m *testing.M) {
+	leaktest.Main(m,
+		"net/http.(*persistConn).readLoop",
+		"net/http.(*persistConn).writeLoop",
+	)
+}

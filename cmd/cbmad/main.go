@@ -94,6 +94,7 @@ func run(argv []string) error {
 		obs.Version(), ln.Addr(), *cacheDir, *cacheEntries, *maxBatch, *maxWait, *workers, *parallel)
 
 	errc := make(chan error, 1)
+	//cbma:fireforget serve loop exits via httpSrv.Shutdown below; errc is buffered so the send never strands it
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
@@ -112,6 +113,7 @@ func run(argv []string) error {
 	defer cancel()
 	drainErr := b.Close(shutCtx)
 	cancelJobs()
+	srv.drain() // all jobs are resolved once the batcher closed; collect their finishJob goroutines
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

@@ -63,11 +63,15 @@ type jobState struct {
 
 // server is the cbmad HTTP layer over the batch and core layers.
 type server struct {
-	batcher   *batch.Batcher
-	o         *obs.Observer // process-wide registry (cache/batch counters)
-	baseCtx   context.Context
+	batcher *batch.Batcher
+	o       *obs.Observer // process-wide registry (cache/batch counters)
+	// baseCtx bounds every job's lifetime to the daemon's; it is the one
+	// place the request tree roots, set once at startup.
+	baseCtx   context.Context //cbma:allow ctxflow daemon-lifetime root, audited seam
 	maxPoints int
 	retain    int // finished jobs kept for status queries
+
+	wg sync.WaitGroup // tracks finishJob goroutines; drain() waits on it
 
 	mu    sync.Mutex
 	jobs  map[string]*jobState
@@ -192,6 +196,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	jobObs.Emit("job_accepted", map[string]any{
 		"job": job.ID(), "what": req.What, "class": req.Class, "points": len(points),
 	})
+	s.wg.Add(1)
 	go s.finishJob(st, points[0].Seed, hashes)
 
 	w.Header().Set("Location", "/v1/campaigns/"+job.ID())
@@ -201,6 +206,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // finishJob waits for the job, flushes its event stream and assembles the
 // per-request run manifest.
 func (s *server) finishJob(st *jobState, seed int64, hashes []string) {
+	defer s.wg.Done()
 	results, jerr := st.job.Results()
 	doneFields := map[string]any{"job": st.job.ID(), "batch": st.job.Batch()}
 	if jerr != nil {
@@ -223,6 +229,13 @@ func (s *server) finishJob(st *jobState, seed int64, hashes []string) {
 	st.manifest = &man
 	st.mu.Unlock()
 	st.cancel()
+}
+
+// drain blocks until every finishJob goroutine has completed. Call after
+// the batcher has been closed (which resolves all outstanding jobs) so the
+// wait is bounded.
+func (s *server) drain() {
+	s.wg.Wait()
 }
 
 // register stores a job state, evicting the oldest finished jobs beyond

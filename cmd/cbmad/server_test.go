@@ -59,6 +59,8 @@ func startDaemon(t *testing.T) *testDaemon {
 		defer done()
 		_ = b.Close(drainCtx)
 		cancel()
+		srv.drain() // collect finishJob goroutines before the leak check runs
+		http.DefaultClient.CloseIdleConnections()
 	})
 	return &testDaemon{ts: ts, runner: runner, o: o, b: b}
 }

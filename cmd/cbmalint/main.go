@@ -1,8 +1,10 @@
-// Command cbmalint runs the repo's custom determinism and hot-path
-// analyzers (see internal/analysis) over the given package patterns:
+// Command cbmalint runs the repo's custom determinism, hot-path and
+// concurrency analyzers (see internal/analysis) over the given package
+// patterns:
 //
-//	go run ./cmd/cbmalint ./...      # whole module (CI does this)
-//	go run ./cmd/cbmalint -list      # show the suite
+//	go run ./cmd/cbmalint ./...        # whole module (CI does this)
+//	go run ./cmd/cbmalint -list        # show the suite
+//	go run ./cmd/cbmalint -json ./...  # one JSON object per finding (JSONL)
 //
 // It prints one line per finding and exits non-zero when any finding
 // survives. Findings are suppressed inline with
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,9 +35,22 @@ type errFindings int
 
 func (e errFindings) Error() string { return fmt.Sprintf("%d findings", int(e)) }
 
+// jsonDiag is the -json wire form of one finding: a flat object per line
+// (JSONL), stable enough for CI artifacts and editor integrations to parse
+// without knowing the suite.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cbmalint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit one JSON object per finding (JSONL) instead of plain lines")
+	dir := fs.String("C", ".", "run as if started in this directory (module root resolution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +64,7 @@ func run(args []string, out io.Writer) error {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	prog, err := framework.Load(".", patterns...)
+	prog, err := framework.Load(*dir, patterns...)
 	if err != nil {
 		return err
 	}
@@ -56,8 +72,24 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		for _, d := range diags {
+			jd := jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			}
+			if err := enc.Encode(jd); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		return errFindings(len(diags))

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -14,10 +18,69 @@ func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"nodeterm", "rngpurpose", "hotalloc", "inplacealias"} {
+	for _, name := range []string{
+		"nodeterm", "obsclock", "rngpurpose", "hotalloc", "inplacealias",
+		"golifecycle", "lockscope", "ctxflow", "timerguard",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestJSONOutput runs the driver end to end over a scratch module holding
+// exactly one violation and checks the -json wire schema: one JSON object
+// per line with analyzer, position and message fields.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module lintjson\n\ngo 1.22\n")
+	// One lockscope rule-1 finding and nothing else: a Lock with no unlock.
+	writeFile(t, filepath.Join(dir, "lib.go"), `package lintjson
+
+import "sync"
+
+var mu sync.Mutex
+
+func Bad() {
+	mu.Lock()
+}
+`)
+
+	var out strings.Builder
+	err := run([]string{"-C", dir, "-json", "./..."}, &out)
+	var findings errFindings
+	if !errors.As(err, &findings) {
+		t.Fatalf("run returned %v, want errFindings", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != int(findings) {
+		t.Fatalf("got %d JSON lines for %d findings:\n%s", len(lines), int(findings), out.String())
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %d findings, want exactly 1:\n%s", len(lines), out.String())
+	}
+	var d jsonDiag
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("output line is not JSON: %v\n%s", err, lines[0])
+	}
+	if d.Analyzer != "lockscope" {
+		t.Errorf("analyzer = %q, want lockscope", d.Analyzer)
+	}
+	if filepath.Base(d.File) != "lib.go" || d.Line != 8 || d.Column == 0 {
+		t.Errorf("position = %s:%d:%d, want lib.go:8 with a column", d.File, d.Line, d.Column)
+	}
+	if !strings.Contains(d.Message, "without a matching or deferred unlock") {
+		t.Errorf("message = %q, want the lockscope rule-1 text", d.Message)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"cbma/internal/analysis/analysistest"
+	"cbma/internal/analysis/ctxflow"
+)
+
+func TestBadFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", ctxflow.Analyzer)
+}
+
+func TestGoodFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/good", ctxflow.Analyzer)
+}

@@ -1,0 +1,48 @@
+// Package bad exercises every ctxflow finding: fresh roots outside main,
+// a ctx-carrying function calling the ctx-less sibling, and contexts
+// stored in struct fields.
+package bad
+
+import "context"
+
+// freshRoots mints new root contexts in library code.
+func freshRoots() {
+	ctx := context.Background() // want "context.Background\\(\\) starts a fresh root outside main"
+	_ = ctx
+	_ = context.TODO() // want "context.TODO\\(\\) starts a fresh root outside main"
+}
+
+// Fetch is the ctx-less convenience form.
+func Fetch() int { return 1 }
+
+// FetchContext is the cancellable form every ctx holder should call.
+func FetchContext(ctx context.Context) int {
+	<-ctx.Done()
+	return 1
+}
+
+// dropsCtx holds a ctx but calls the sibling that cannot observe it.
+func dropsCtx(ctx context.Context) int {
+	return Fetch() // want "Fetch drops this function's ctx: call FetchContext with it instead"
+}
+
+type store struct{}
+
+// Get is the ctx-less method form.
+func (s *store) Get() int { return 1 }
+
+// GetContext is the cancellable method form.
+func (s *store) GetContext(ctx context.Context) int {
+	<-ctx.Done()
+	return 1
+}
+
+// dropsCtxMethod does the same through a method receiver.
+func dropsCtxMethod(ctx context.Context, s *store) int {
+	return s.Get() // want "Get drops this function's ctx: call GetContext with it instead"
+}
+
+// holder parks a request context in a field, detaching it from any call.
+type holder struct {
+	ctx context.Context // want "context.Context stored in a struct outlives its caller"
+}

@@ -1,0 +1,41 @@
+// Package good holds the accepted context-flow patterns: threading the
+// caller's ctx, calling the Context sibling, waivered roots and seams,
+// and ctx-less calls when no cancellable sibling exists.
+package good
+
+import "context"
+
+// Fetch / FetchContext form the convenience pair.
+func Fetch() int {
+	//cbma:allow ctxflow public convenience entrypoint roots its own context
+	return FetchContext(context.Background())
+}
+
+// FetchContext is the cancellable form.
+func FetchContext(ctx context.Context) int {
+	<-ctx.Done()
+	return 1
+}
+
+// threads passes its ctx into the Context sibling.
+func threads(ctx context.Context) int {
+	return FetchContext(ctx)
+}
+
+// plain has no Context sibling, so a ctx holder may call it freely.
+func plain() int { return 2 }
+
+func callsPlain(ctx context.Context) int {
+	_ = ctx
+	return plain()
+}
+
+// waivedRoot documents a deliberate detach.
+func waivedRoot() context.Context {
+	return context.Background() //cbma:allow ctxflow daemon-lifetime base context, reviewed
+}
+
+// seam is an audited stored-context seam.
+type seam struct {
+	ctx context.Context //cbma:allow ctxflow queued-submission seam, consumed once by the worker
+}

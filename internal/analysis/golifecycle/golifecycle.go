@@ -1,0 +1,216 @@
+// Package golifecycle enforces goroutine-lifecycle discipline in the
+// long-lived packages (obs, serve/..., cmd/cbmad): a daemon restarts rarely,
+// so a goroutine with no shutdown path is a leak that compounds for the
+// process lifetime. Every `go` statement must carry a provable way to end:
+//
+//   - WaitGroup pairing: the goroutine body (or the called function's body)
+//     calls (*sync.WaitGroup).Done — the launcher's Add/Wait bounds it;
+//   - waiting is bounded: the body calls (*sync.WaitGroup).Wait and returns;
+//   - channel-drain loop: the body ranges over a channel, ending at close;
+//   - cancellation select/receive: the body receives from ctx.Done() or
+//     from a shutdown-named channel (done/stop/quit/exit/close*/shutdown);
+//   - an explicit fire-and-forget waiver: `//cbma:fireforget <reason>` on
+//     the go statement's line or the line above. The reason is mandatory —
+//     a reviewer must see why the goroutine is allowed to outlive its
+//     spawner (e.g. a process-lifetime debug listener).
+//
+// The proof is syntactic and one call deep (`go s.run()` is resolved to
+// run's body when its source is loaded); a goroutine whose shutdown path
+// lives deeper must be restructured or waivered. The runtime complement is
+// internal/leaktest, which verifies at test end that the paths actually run.
+package golifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the golifecycle check.
+var Analyzer = &framework.Analyzer{
+	Name: "golifecycle",
+	Doc:  "goroutines in long-lived packages must have a provable shutdown path or a //cbma:fireforget waiver",
+	Run:  run,
+}
+
+// scope is the long-lived concurrency surface: the telemetry layer, the
+// campaign service layers, and the daemon. The simulation packages are
+// deliberately out of scope — their worker goroutines are short-lived,
+// WaitGroup-joined within a single Run call, and already policed by the
+// determinism analyzers. Packages outside the cbma module (the analyzer's
+// own fixtures) are always in scope.
+var scope = []string{
+	"cbma/internal/obs",
+	"cbma/internal/serve",
+	"cbma/cmd/cbmad",
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "cbma") {
+		return true // analyzer fixtures
+	}
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// fireforgetRe matches the waiver directive; the capture is the reason.
+var fireforgetRe = regexp.MustCompile(`^//cbma:fireforget\s*(.*)$`)
+
+// shutdownName matches channel identifiers that conventionally signal
+// termination.
+var shutdownName = regexp.MustCompile(`(?i)^(done|stop|stopped|quit|exit|closing|closed|shutdown)$`)
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		waivers := fireforgetIndex(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pos := pass.Fset.Position(gs.Pos())
+			if reason, ok := waiverFor(waivers, pos.Line); ok {
+				if reason == "" {
+					pass.Reportf(gs.Pos(), "//cbma:fireforget waiver needs a reason: say why this goroutine may outlive its spawner")
+				}
+				return true
+			}
+			body := goroutineBody(pass, gs.Call)
+			if body == nil {
+				pass.Reportf(gs.Pos(), "goroutine calls a function whose body is not loadable; cannot prove a shutdown path (restructure, or waive with //cbma:fireforget <reason>)")
+				return true
+			}
+			if !hasShutdownPath(pass, body) {
+				pass.Reportf(gs.Pos(), "goroutine has no provable shutdown path: pair it with a WaitGroup Add/Done, select on ctx.Done() or a done channel, range over a closing channel, or waive with //cbma:fireforget <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fireforgetIndex records, per line, the reason of any //cbma:fireforget
+// directive in the file.
+func fireforgetIndex(fset *token.FileSet, file *ast.File) map[int]string {
+	idx := map[int]string{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := fireforgetRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			idx[fset.Position(c.Pos()).Line] = strings.TrimSpace(m[1])
+		}
+	}
+	return idx
+}
+
+// waiverFor checks the go statement's line and the line above.
+func waiverFor(idx map[int]string, line int) (string, bool) {
+	if r, ok := idx[line]; ok {
+		return r, true
+	}
+	r, ok := idx[line-1]
+	return r, ok
+}
+
+// goroutineBody resolves the body the goroutine will execute: a literal's
+// own body, or — one call deep — the declaration of the named function or
+// method being started.
+func goroutineBody(pass *framework.Pass, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if decl := pass.FuncDecl(fn); decl != nil {
+				return decl.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if decl := pass.FuncDecl(fn); decl != nil {
+				return decl.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasShutdownPath reports whether the body contains any of the accepted
+// termination constructs. Nested function literals are included: a
+// `defer func() { wg.Done() }()` counts.
+func hasShutdownPath(pass *framework.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch methodFullName(pass, n) {
+			case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isShutdownChan(pass, n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// methodFullName returns the type-checker full name of a call's callee
+// ("(*sync.WaitGroup).Done"), or "".
+func methodFullName(pass *framework.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// isShutdownChan reports whether the received-from expression is a
+// cancellation signal: ctx.Done() (any context.Context), or a channel whose
+// terminal identifier is shutdown-named.
+func isShutdownChan(pass *framework.Pass, x ast.Expr) bool {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.CallExpr:
+		// (context.Context).Done() or a same-shaped Done() accessor.
+		if name := methodFullName(pass, x); strings.HasSuffix(name, ".Done") {
+			return true
+		}
+	case *ast.Ident:
+		return shutdownName.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return shutdownName.MatchString(x.Sel.Name)
+	}
+	return false
+}

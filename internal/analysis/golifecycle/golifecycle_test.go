@@ -1,0 +1,16 @@
+package golifecycle_test
+
+import (
+	"testing"
+
+	"cbma/internal/analysis/analysistest"
+	"cbma/internal/analysis/golifecycle"
+)
+
+func TestBadFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", golifecycle.Analyzer)
+}
+
+func TestGoodFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/good", golifecycle.Analyzer)
+}

@@ -1,0 +1,55 @@
+// Package bad exercises every golifecycle finding: goroutines with no
+// provable shutdown path, unresolvable goroutine bodies, and a fireforget
+// waiver that forgot its reason.
+package bad
+
+import "sync"
+
+type worker struct {
+	jobs chan int
+	mu   sync.Mutex
+}
+
+// spin loops forever with no cancellation signal: the canonical leak.
+func (w *worker) spin() {
+	for {
+		w.mu.Lock()
+		w.mu.Unlock()
+	}
+}
+
+func leakLoop() {
+	w := &worker{jobs: make(chan int)}
+	go w.spin() // want "no provable shutdown path"
+}
+
+func leakLiteral(out chan<- int) {
+	go func() { // want "no provable shutdown path"
+		for i := 0; ; i++ {
+			out <- i
+		}
+	}()
+}
+
+// A receive from a non-shutdown-named work channel proves nothing: the
+// producer may never close it.
+func leakWorkChannel(in chan int, sink func(int)) {
+	go func() { // want "no provable shutdown path"
+		for {
+			v := <-in
+			sink(v)
+		}
+	}()
+}
+
+// A goroutine body behind a function value cannot be inspected at all.
+func leakCallback(callback func()) {
+	go callback() // want "cannot prove a shutdown path"
+}
+
+func missingReason() {
+	//cbma:fireforget
+	go func() { // want "waiver needs a reason"
+		select {}
+	}()
+}

@@ -1,0 +1,76 @@
+// Package good holds the accepted goroutine-lifecycle patterns: WaitGroup
+// pairing, channel-drain loops, cancellation selects, done-channel receives,
+// WaitGroup-bounded closers, and a reasoned fireforget waiver.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	events chan int
+	wg     sync.WaitGroup
+	stop   chan struct{}
+}
+
+// run drains its channel: the goroutine ends when the producer closes it.
+func (p *pump) run() {
+	for range p.events {
+	}
+}
+
+func drainLoop(p *pump) {
+	go p.run()
+}
+
+func waitGroupPaired(p *pump, work func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func cancellationSelect(ctx context.Context, in chan int, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case v := <-in:
+				sink(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func doneChannelReceive(p *pump, work func()) {
+	go func() {
+		work()
+		<-p.stop
+	}()
+}
+
+// The closer pattern: the goroutine's lifetime is bounded by the WaitGroup
+// it waits on.
+func waitBoundedCloser(p *pump) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+func reasonedWaiver(serve func() error) {
+	//cbma:fireforget fixture: debug listener serves for the process lifetime by design
+	go func() {
+		_ = serve()
+	}()
+}
+
+// The generic framework suppression works too.
+func frameworkWaiver(spin func()) {
+	go spin() //cbma:allow golifecycle fixture demonstrates the generic suppression
+}

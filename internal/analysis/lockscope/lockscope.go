@@ -1,0 +1,311 @@
+// Package lockscope enforces lock discipline in the long-lived packages:
+// a sync.Mutex/RWMutex critical section must be short and non-blocking,
+// because everything the service layer does — batch intake, broadcaster
+// fan-out, cache probes — serializes behind these locks.
+//
+// Two rules, both per function body (literals analyzed separately):
+//
+//  1. Every Lock/RLock must have a matching Unlock/RUnlock on the same
+//     receiver later in the function, or a deferred one. A Lock whose
+//     release lives in a different function (or nowhere) is reported.
+//  2. While a lock is held — from the Lock call to its matching plain
+//     unlock, or to the end of the function for a deferred unlock — no
+//     blocking operation may appear: channel sends/receives, selects
+//     without a default, time.Sleep, (*sync.WaitGroup).Wait, direct I/O
+//     (fmt.Fprint* or interface-method Read/Write/Flush/ReadFrom/WriteTo),
+//     and calls through function-typed values (user callbacks the lock
+//     holder cannot vouch for). Channel operations inside a select that
+//     has a default case are non-blocking and pass.
+//
+// The analysis is lexical, not path-sensitive: a conditional early unlock
+// ends the tracked region at its position (under-approximating the held
+// range on other paths), and a helper that locks on behalf of its caller
+// (the *Locked convention is the reverse: callers hold, helpers don't)
+// is rule 1's finding unless waivered. Nested function literals are
+// skipped — they do not run under the enclosing critical section.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the lockscope check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockscope",
+	Doc:  "no mutex held across blocking operations; every Lock needs a matching or deferred Unlock",
+	Run:  run,
+}
+
+// scope is the service layer's concurrency surface. Packages outside the
+// cbma module (fixtures) are always in scope.
+var scope = []string{
+	"cbma/internal/obs",
+	"cbma/internal/serve",
+	"cbma/cmd/cbmad",
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "cbma") {
+		return true // analyzer fixtures
+	}
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// lockKind distinguishes the write and read halves of an RWMutex (and the
+// single pair of a plain Mutex).
+type lockKind int
+
+const (
+	writeLock lockKind = iota
+	readLock
+)
+
+// lockEvent is one Lock/Unlock-family call found in a function body.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // receiver expression, rendered (e.g. "s.mu")
+	kind     lockKind
+	acquire  bool
+	deferred bool
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			// Function literals get their own independent analysis.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBody applies both rules to one function body, ignoring nested
+// literals (they execute under their own stack, not this critical section).
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	events := collectLockEvents(pass, body)
+	if len(events) == 0 {
+		return
+	}
+	for _, ev := range events {
+		if !ev.acquire || ev.deferred {
+			continue
+		}
+		end, ok := matchRelease(events, ev, body.End())
+		if !ok {
+			pass.Reportf(ev.pos, "%s locked without a matching or deferred unlock in this function (helpers locking for their caller are reported; restructure or waive)", ev.recv)
+			continue
+		}
+		reportBlocking(pass, body, ev, end)
+	}
+}
+
+// collectLockEvents finds every (R)Lock/(R)Unlock call directly in the body.
+func collectLockEvents(pass *framework.Pass, body *ast.BlockStmt) []lockEvent {
+	// Defer calls are recorded once, as deferred events — not again when the
+	// walk reaches the call node itself.
+	deferCalls := map[*ast.CallExpr]bool{}
+	walkShallow(body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferCalls[d.Call] = true
+		}
+	})
+	var events []lockEvent
+	walkShallow(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		deferred := deferCalls[call]
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		var kind lockKind
+		var acquire bool
+		switch fn.FullName() {
+		case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+			kind, acquire = writeLock, true
+		case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+			kind, acquire = writeLock, false
+		case "(*sync.RWMutex).RLock":
+			kind, acquire = readLock, true
+		case "(*sync.RWMutex).RUnlock":
+			kind, acquire = readLock, false
+		default:
+			return
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			recv:     types.ExprString(sel.X),
+			kind:     kind,
+			acquire:  acquire,
+			deferred: deferred,
+		})
+	})
+	return events
+}
+
+// matchRelease finds where the critical section opened by acq ends: the
+// first plain matching unlock after it, or bodyEnd when a deferred unlock
+// exists. Reports ok=false when neither does.
+func matchRelease(events []lockEvent, acq lockEvent, bodyEnd token.Pos) (token.Pos, bool) {
+	for _, ev := range events {
+		if !ev.acquire && !ev.deferred && ev.kind == acq.kind && ev.recv == acq.recv && ev.pos > acq.pos {
+			return ev.pos, true
+		}
+	}
+	for _, ev := range events {
+		if !ev.acquire && ev.deferred && ev.kind == acq.kind && ev.recv == acq.recv {
+			return bodyEnd, true
+		}
+	}
+	return token.NoPos, false
+}
+
+// reportBlocking scans the held region for blocking operations. A select
+// with a default case is non-blocking by construction, so it and its comm
+// clauses are exempted up front; its case bodies still run under the lock
+// and stay in the scan.
+func reportBlocking(pass *framework.Pass, body *ast.BlockStmt, acq lockEvent, end token.Pos) {
+	exempt := map[ast.Node]bool{}
+	walkShallow(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		hasDefault := false
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			exempt[sel] = true
+		}
+		// Comm clauses never report on their own: a blocking select is one
+		// finding at the select, and a defaulted select's comms don't block.
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				exempt[comm] = true
+			case *ast.ExprStmt:
+				if u, ok := comm.X.(*ast.UnaryExpr); ok {
+					exempt[u] = true
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					if u, ok := rhs.(*ast.UnaryExpr); ok {
+						exempt[u] = true
+					}
+				}
+			}
+		}
+	})
+	walkShallow(body, func(n ast.Node) {
+		if n.Pos() <= acq.pos || n.Pos() >= end || exempt[n] {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "blocking select while holding %s (locked at %s)", acq.recv, pass.Fset.Position(acq.pos))
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding %s (locked at %s)", acq.recv, pass.Fset.Position(acq.pos))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while holding %s (locked at %s)", acq.recv, pass.Fset.Position(acq.pos))
+			}
+		case *ast.CallExpr:
+			if why := blockingCall(pass, n); why != "" {
+				pass.Reportf(n.Pos(), "%s while holding %s (locked at %s)", why, acq.recv, pass.Fset.Position(acq.pos))
+			}
+		}
+	})
+}
+
+// blockingCall classifies a call as blocking, returning a description or "".
+func blockingCall(pass *framework.Pass, call *ast.CallExpr) string {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	switch obj := pass.TypesInfo.Uses[id].(type) {
+	case *types.Func:
+		full := obj.FullName()
+		switch full {
+		case "time.Sleep", "(*sync.WaitGroup).Wait":
+			// sync.Cond.Wait is deliberately absent: it *requires* the lock
+			// and releases it internally.
+			return "call to " + full
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
+			return "I/O via fmt." + obj.Name()
+		}
+		// Interface-method I/O: the receiver's concrete behavior is unknown,
+		// so a Read/Write under a lock is a blocking hazard.
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				switch obj.Name() {
+				case "Read", "Write", "ReadFrom", "WriteTo", "Flush":
+					return "interface I/O call " + obj.Name()
+				}
+			}
+		}
+	case *types.Var:
+		// A call through a function value: a callback the critical section
+		// cannot vouch for.
+		if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+			return "call through function value " + id.Name
+		}
+	}
+	return ""
+}
+
+// walkShallow visits every node in the body except nested function literals.
+func walkShallow(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,82 @@
+// Package bad exercises every lockscope finding: locks held across channel
+// operations, blocking selects, sleeps, WaitGroup waits, I/O and callbacks,
+// plus a Lock with no release at all.
+package bad
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	subs []chan int
+	out  io.Writer
+	hook func()
+	wg   sync.WaitGroup
+}
+
+func (h *hub) sendHeld(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs {
+		ch <- v // want "channel send while holding h.mu"
+	}
+}
+
+func (h *hub) recvHeld(in chan int) int {
+	h.mu.Lock()
+	v := <-in // want "channel receive while holding h.mu"
+	h.mu.Unlock()
+	return v
+}
+
+func (h *hub) selectHeld(in chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want "blocking select while holding h.mu"
+	case v := <-in:
+		_ = v
+	case h.subs[0] <- 1:
+	}
+}
+
+func (h *hub) sleepHeld() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding h.mu"
+	h.mu.Unlock()
+}
+
+func (h *hub) waitHeld() {
+	h.rw.RLock()
+	defer h.rw.RUnlock()
+	h.wg.Wait() // want "call to \\(\\*sync.WaitGroup\\).Wait while holding h.rw"
+}
+
+func (h *hub) printHeld() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(h.out, "held\n") // want "I/O via fmt.Fprintf while holding h.mu"
+}
+
+func (h *hub) writeHeld(p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, _ = h.out.Write(p) // want "interface I/O call Write while holding h.mu"
+}
+
+func (h *hub) callbackHeld() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hook() // want "call through function value hook while holding h.mu"
+}
+
+// lockNoUnlock locks on behalf of its caller — the *Locked convention is
+// the other way around, so this is a finding.
+func (h *hub) lockNoUnlock() { // helper-locks are rule 1 findings
+	h.mu.Lock() // want "locked without a matching or deferred unlock"
+	h.subs = nil
+}

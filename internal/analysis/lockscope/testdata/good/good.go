@@ -1,0 +1,80 @@
+// Package good holds the accepted locking patterns: short pure critical
+// sections, non-blocking selects under a lock, early conditional unlocks,
+// blocking work moved outside the held region, per-literal analysis, and a
+// reviewed suppression.
+package good
+
+import (
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	subs   map[chan int]struct{}
+	closed bool
+}
+
+// pureSection: map surgery under the lock is fine.
+func (h *hub) pureSection(ch chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs == nil {
+		h.subs = make(map[chan int]struct{})
+	}
+	h.subs[ch] = struct{}{}
+}
+
+// nonBlockingFanout: the Broadcaster pattern — sends under the lock are
+// guarded by a default case, so a slow consumer is dropped, not waited on.
+func (h *hub) nonBlockingFanout(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- v:
+		default:
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// earlyUnlock: conditional release ends the critical section; the receive
+// after it runs unlocked.
+func (h *hub) earlyUnlock(in chan int) int {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0
+	}
+	h.mu.Unlock()
+	return <-in
+}
+
+// readThenBlock: the blocking wait happens after the read lock is dropped.
+func (h *hub) readThenBlock(done chan struct{}) int {
+	h.rw.RLock()
+	n := len(h.subs)
+	h.rw.RUnlock()
+	<-done
+	return n
+}
+
+// literalScope: the goroutine's own blocking receive is not charged to the
+// spawner's critical section.
+func (h *hub) literalScope(in chan int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		<-in
+	}()
+}
+
+// suppressed: a reviewed waiver keeps a deliberate sleep-under-lock.
+func (h *hub) suppressed() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	time.Sleep(time.Millisecond) //cbma:allow lockscope fixture demonstrates the suppression directive
+}

@@ -1,17 +1,23 @@
 // Package analysis assembles the cbmalint suite: the repo-specific static
-// checks that turn the simulator's reproducibility conventions — injected
-// RNG streams, distinct seed-derivation purposes, allocation-free hot
-// paths, alias-safe Into/InPlace calls — into CI-enforced rules. See
-// DESIGN.md, "Determinism invariants & lint rules".
+// checks that turn the simulator's reproducibility and concurrency
+// conventions — injected RNG streams, distinct seed-derivation purposes,
+// allocation-free hot paths, alias-safe Into/InPlace calls, provable
+// goroutine shutdown, short non-blocking critical sections, threaded
+// contexts, stoppable timers — into CI-enforced rules. See DESIGN.md,
+// "Determinism invariants & lint rules" and "Concurrency invariants".
 package analysis
 
 import (
+	"cbma/internal/analysis/ctxflow"
 	"cbma/internal/analysis/framework"
+	"cbma/internal/analysis/golifecycle"
 	"cbma/internal/analysis/hotalloc"
 	"cbma/internal/analysis/inplacealias"
+	"cbma/internal/analysis/lockscope"
 	"cbma/internal/analysis/nodeterm"
 	"cbma/internal/analysis/obsclock"
 	"cbma/internal/analysis/rngpurpose"
+	"cbma/internal/analysis/timerguard"
 )
 
 // Suite returns the analyzers cbmalint runs, in reporting order.
@@ -22,5 +28,9 @@ func Suite() []*framework.Analyzer {
 		rngpurpose.Analyzer,
 		hotalloc.Analyzer,
 		inplacealias.Analyzer,
+		golifecycle.Analyzer,
+		lockscope.Analyzer,
+		ctxflow.Analyzer,
+		timerguard.Analyzer,
 	}
 }

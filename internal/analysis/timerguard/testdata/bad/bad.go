@@ -1,0 +1,44 @@
+// Package bad exercises every timerguard finding: discarded handles,
+// never-stopped locals and fields, handle-less creations, time.Tick, and
+// time.After armed per loop iteration.
+package bad
+
+import "time"
+
+type poller struct {
+	timer *time.Timer
+}
+
+func discarded(d time.Duration) {
+	time.NewTicker(d)    // want "timer created and discarded: keep the handle"
+	_ = time.NewTimer(d) // want "timer created and discarded: keep the handle"
+}
+
+func localNeverStopped(d time.Duration) {
+	t := time.NewTimer(d) // want "timer bound to t is never stopped"
+	<-t.C
+}
+
+func (p *poller) fieldNeverStopped(d time.Duration) {
+	p.timer = time.AfterFunc(d, func() {}) // want "timer bound to p.timer is never stopped"
+}
+
+func noHandle(d time.Duration) <-chan time.Time {
+	return time.NewTimer(d).C // want "timer created without a bindable handle"
+}
+
+func ticks(d time.Duration) {
+	for range time.Tick(d) { // want "time.Tick leaks its ticker by design"
+	}
+}
+
+func afterLoop(work chan int, d time.Duration) {
+	for {
+		select {
+		case v := <-work:
+			_ = v
+		case <-time.After(d): // want "time.After in a loop arms an unstoppable timer per iteration"
+			return
+		}
+	}
+}

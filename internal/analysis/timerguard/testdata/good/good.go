@@ -1,0 +1,65 @@
+// Package good holds the accepted timer patterns: deferred Stops, a field
+// stopped by the type's Close, ownership transfer by return, one-shot
+// time.After outside loops, and a reviewed waiver.
+package good
+
+import "time"
+
+type poller struct {
+	timer  *time.Timer
+	ticker *time.Ticker
+}
+
+func localStopped(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func tickerLoop(d time.Duration, done chan struct{}) {
+	tk := time.NewTicker(d)
+	defer tk.Stop()
+	for {
+		select {
+		case <-tk.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+// arm binds the field; Close (below) is the package-wide Stop that
+// timerguard requires.
+func (p *poller) arm(d time.Duration) {
+	p.timer = time.AfterFunc(d, func() {})
+	p.ticker = time.NewTicker(d)
+}
+
+func (p *poller) Close() {
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.ticker.Stop()
+}
+
+// handoff transfers ownership to the caller.
+func handoff(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// oneShot is a single bounded wait, not a per-iteration arm.
+func oneShot(work chan int, d time.Duration) int {
+	select {
+	case v := <-work:
+		return v
+	case <-time.After(d):
+		return 0
+	}
+}
+
+// waived keeps a deliberate looped time.After under review.
+func waived(work chan int, d time.Duration) {
+	for range work {
+		<-time.After(d) //cbma:allow timerguard fixture demonstrates the suppression directive
+	}
+}

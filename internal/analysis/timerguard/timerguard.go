@@ -1,0 +1,249 @@
+// Package timerguard enforces timer hygiene in library code: every
+// time.Timer/Ticker the repo creates must be stoppable, and the
+// leak-by-construction helpers are banned outright.
+//
+// Rules (package main is exempt — a daemon's process-lifetime timers die
+// with it):
+//
+//  1. time.NewTimer/NewTicker/AfterFunc with a discarded result is
+//     reported: nothing can ever Stop it.
+//  2. A timer assigned to a local or a struct field must have a reachable
+//     `.Stop()` on that variable or field somewhere in the package. The
+//     match is by types.Object identity — field Stops count for every
+//     instance — so this is a "provably never stopped" check, not a
+//     path-sensitive one.
+//  3. Returning a freshly created timer transfers ownership to the caller
+//     and passes.
+//  4. time.Tick is always reported (the runtime never reclaims its ticker).
+//  5. time.After inside a for/range loop is reported: each iteration arms
+//     a new timer that survives until it fires, unbounded under load.
+package timerguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cbma/internal/analysis/framework"
+)
+
+// Analyzer is the timerguard check.
+var Analyzer = &framework.Analyzer{
+	Name: "timerguard",
+	Doc:  "timers and tickers in library code need a reachable Stop; time.Tick and looped time.After are banned",
+	Run:  run,
+}
+
+// scope: all library packages of the module. Packages outside the cbma
+// module (fixtures) are always in scope.
+var scope = []string{
+	"cbma/internal",
+}
+
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "cbma") {
+		return true // analyzer fixtures
+	}
+	for _, p := range scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	stopped := collectStopped(pass)
+	for _, file := range pass.Files {
+		checkFile(pass, file, stopped)
+	}
+	return nil
+}
+
+// creationKind classifies a call as one of the timer-creating helpers.
+func creationKind(pass *framework.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	switch fn.FullName() {
+	case "time.NewTimer", "time.NewTicker", "time.AfterFunc", "time.Tick", "time.After":
+		return fn.Name()
+	}
+	return ""
+}
+
+// collectStopped gathers the types.Object of every variable or field that
+// has a .Stop() called on it anywhere in the package (defers included —
+// a defer is a CallExpr too).
+func collectStopped(pass *framework.Pass) map[types.Object]bool {
+	stopped := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Stop" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch fn.FullName() {
+			case "(*time.Timer).Stop", "(*time.Ticker).Stop":
+				if obj := terminalObj(pass, sel.X); obj != nil {
+					stopped[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return stopped
+}
+
+// terminalObj resolves the variable or field an expression names: `t` →
+// t's object, `p.timer` (any receiver depth) → the timer field's object.
+func terminalObj(pass *framework.Pass, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// checkFile walks one file, tracking loop depth for the time.After rule and
+// consuming creation calls at their binding site (assignment, declaration,
+// return, composite literal) so the fallback pass only sees orphans.
+func checkFile(pass *framework.Pass, file *ast.File, stopped map[types.Object]bool) {
+	handled := map[*ast.CallExpr]bool{}
+	loopDepth := 0
+
+	var walk func(ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				walk(m)
+				loopDepth--
+				return false
+			case *ast.ExprStmt:
+				if call, ok := m.X.(*ast.CallExpr); ok {
+					switch creationKind(pass, call) {
+					case "NewTimer", "NewTicker", "AfterFunc":
+						handled[call] = true
+						pass.Reportf(call.Pos(), "timer created and discarded: keep the handle so it can be stopped")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || i >= len(m.Lhs) {
+						continue
+					}
+					switch creationKind(pass, call) {
+					case "NewTimer", "NewTicker", "AfterFunc":
+						handled[call] = true
+						checkBinding(pass, m.Lhs[i], call, stopped)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range m.Values {
+					call, ok := ast.Unparen(v).(*ast.CallExpr)
+					if !ok || i >= len(m.Names) {
+						continue
+					}
+					switch creationKind(pass, call) {
+					case "NewTimer", "NewTicker", "AfterFunc":
+						handled[call] = true
+						checkBinding(pass, m.Names[i], call, stopped)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range m.Results {
+					if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+						switch creationKind(pass, call) {
+						case "NewTimer", "NewTicker", "AfterFunc":
+							handled[call] = true // ownership transferred to the caller
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				call, ok := ast.Unparen(m.Value).(*ast.CallExpr)
+				if !ok {
+					break
+				}
+				switch creationKind(pass, call) {
+				case "NewTimer", "NewTicker", "AfterFunc":
+					handled[call] = true
+					if key, ok := m.Key.(*ast.Ident); ok {
+						checkObj(pass, pass.TypesInfo.Uses[key], key.Name, call, stopped)
+					}
+				}
+			case *ast.CallExpr:
+				switch creationKind(pass, m) {
+				case "Tick":
+					handled[m] = true
+					pass.Reportf(m.Pos(), "time.Tick leaks its ticker by design: use time.NewTicker and Stop it")
+				case "After":
+					handled[m] = true
+					if loopDepth > 0 {
+						pass.Reportf(m.Pos(), "time.After in a loop arms an unstoppable timer per iteration: hoist a NewTimer and Reset it")
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(file)
+
+	// Fallback: a creation call in any other position (a bare argument, a
+	// channel send) has no bindable handle.
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || handled[call] {
+			return true
+		}
+		switch creationKind(pass, call) {
+		case "NewTimer", "NewTicker", "AfterFunc":
+			pass.Reportf(call.Pos(), "timer created without a bindable handle: assign it so it can be stopped")
+		}
+		return true
+	})
+}
+
+// checkBinding resolves an assignment target and requires a package-wide
+// Stop on its object.
+func checkBinding(pass *framework.Pass, lhs ast.Expr, call *ast.CallExpr, stopped map[types.Object]bool) {
+	obj := terminalObj(pass, lhs)
+	checkObj(pass, obj, types.ExprString(lhs), call, stopped)
+}
+
+func checkObj(pass *framework.Pass, obj types.Object, name string, call *ast.CallExpr, stopped map[types.Object]bool) {
+	if obj == nil {
+		// Blank identifier or unresolvable target: nothing can Stop it.
+		pass.Reportf(call.Pos(), "timer created and discarded: keep the handle so it can be stopped")
+		return
+	}
+	if !stopped[obj] {
+		pass.Reportf(call.Pos(), "timer bound to %s is never stopped: add a Stop on every exit path", name)
+	}
+}

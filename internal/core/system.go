@@ -118,7 +118,7 @@ func (s *System) Engine() *sim.Engine { return s.engine }
 // then — when node selection is enabled — repeatedly replace
 // under-performing tags and re-measure.
 func (s *System) Run() (Report, error) {
-	return s.RunContext(context.Background())
+	return s.RunContext(context.Background()) //cbma:allow ctxflow public convenience entrypoint roots its own context
 }
 
 // RunContext is Run with cooperative cancellation. When ctx fires, the

@@ -1,0 +1,194 @@
+// Package leaktest is the runtime complement to the golifecycle analyzer: a
+// zero-dependency goroutine-leak detector for the long-lived service layers
+// (obs, serve/core, serve/batch, cmd/cbmad). The static pass proves every
+// goroutine *has* a shutdown path; leaktest proves the Close/drain/cancel
+// code actually walks it.
+//
+// Usage, per test:
+//
+//	func TestServiceClose(t *testing.T) {
+//		leaktest.Check(t)
+//		// ... exercise Close/drain/cancel paths ...
+//	}
+//
+// or package-wide, from TestMain:
+//
+//	func TestMain(m *testing.M) { leaktest.Main(m) }
+//
+// Check snapshots the live goroutines and registers a cleanup that fails the
+// test if goroutines born during the test survive a grace period (goroutines
+// legitimately take a moment to unwind after Close returns, so the check
+// retries with backoff before declaring a leak). Main runs the package's
+// tests and then requires the whole package to have wound down to the
+// harness's own goroutines.
+//
+// The detector reads runtime.Stack directly — no runtime/pprof, no
+// goroutine-ID hacks beyond the header parse — and allowlists stacks owned
+// by the runtime and the testing package.
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultGrace bounds how long a check waits for goroutines to unwind
+// before declaring them leaked.
+const DefaultGrace = 2 * time.Second
+
+// ignoredStacks match goroutines the harness never charges to the test:
+// runtime housekeeping, the testing framework's own machinery, and the
+// leaktest snapshot goroutine itself.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.runFuzzing",
+	"runtime.goexit0",
+	"runtime.gcBgMarkWorker",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"runtime.ensureSigM",
+	"runtime.ReadTrace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"cbma/internal/leaktest.live(", // the sampling goroutine itself
+}
+
+// goroutine is one parsed stack stanza.
+type goroutine struct {
+	id    string // "goroutine 42" header token, unique for the process lifetime
+	stack string
+}
+
+// live returns the parsed stacks of every goroutine the harness does not
+// ignore.
+func live(extraIgnores []string) []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []goroutine
+	for _, stanza := range strings.Split(string(buf), "\n\n") {
+		stanza = strings.TrimSpace(stanza)
+		if stanza == "" || !strings.HasPrefix(stanza, "goroutine ") {
+			continue
+		}
+		if ignored(stanza, extraIgnores) {
+			continue
+		}
+		header, _, _ := strings.Cut(stanza, "\n")
+		id := strings.TrimSuffix(header, ":")
+		if i := strings.Index(id, " ["); i >= 0 {
+			id = id[:i]
+		}
+		out = append(out, goroutine{id: id, stack: stanza})
+	}
+	return out
+}
+
+func ignored(stack string, extra []string) bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	for _, pat := range extra {
+		if strings.Contains(stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count reports how many live goroutines have substr anywhere in their
+// stack — e.g. Count("time.goFunc") counts firing time.AfterFunc callbacks.
+func Count(substr string) int {
+	n := 0
+	for _, g := range live(nil) {
+		if strings.Contains(g.stack, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// Check snapshots the current goroutines and registers a cleanup failing t
+// if goroutines created during the test outlive it (after DefaultGrace of
+// retrying). Ignore patterns exempt stacks containing any of the given
+// substrings, on top of the built-in runtime/testing allowlist.
+func Check(t testing.TB, ignore ...string) {
+	t.Helper()
+	before := make(map[string]bool)
+	for _, g := range live(ignore) {
+		before[g.id] = true
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't stack leak noise on a test that already failed
+		}
+		leaked := settle(DefaultGrace, func() []goroutine {
+			var l []goroutine
+			for _, g := range live(ignore) {
+				if !before[g.id] {
+					l = append(l, g)
+				}
+			}
+			return l
+		})
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g.stack)
+		}
+	})
+}
+
+// Main is the TestMain entry point: it runs the package's tests and then
+// requires every non-harness goroutine to have exited — the package-wide
+// proof that each test's Close/drain paths ran and worked. Ignore patterns
+// exempt stacks containing any of the given substrings.
+//
+//	func TestMain(m *testing.M) { leaktest.Main(m) }
+func Main(m *testing.M, ignore ...string) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := settle(DefaultGrace, func() []goroutine { return live(ignore) }); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leaktest: %d goroutine(s) leaked past the package's tests:\n", len(leaked))
+			for _, g := range leaked {
+				fmt.Fprintf(os.Stderr, "%s\n\n", g.stack)
+			}
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle polls sample until it reports nothing or the grace period runs
+// out, backing off between polls: goroutines are entitled to a moment of
+// teardown after Close returns, but not to a career.
+func settle(grace time.Duration, sample func() []goroutine) []goroutine {
+	deadline := time.Now().Add(grace)
+	delay := time.Millisecond
+	for {
+		leaked := sample()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}

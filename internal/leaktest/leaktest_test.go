@@ -1,0 +1,90 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The realistic usage: Check at the top, goroutines joined by test end. The
+// registered cleanup runs after this body and must stay silent even though
+// the goroutine may still be unwinding when it fires.
+func TestCheckCleanExit(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// A goroutine parked forever is reported, with the spawning frame in the
+// stack. Exercises the sampler directly so the failure doesn't fail us.
+func TestSettleReportsLeak(t *testing.T) {
+	before := map[string]bool{}
+	for _, g := range live(nil) {
+		before[g.id] = true
+	}
+	block := make(chan struct{})
+	go parkForLeak(block)
+	// Short grace: the goroutine is parked for good, no need to wait long.
+	leaked := settle(100*time.Millisecond, func() []goroutine {
+		var l []goroutine
+		for _, g := range live(nil) {
+			if !before[g.id] {
+				l = append(l, g)
+			}
+		}
+		return l
+	})
+	close(block)
+	if len(leaked) != 1 {
+		t.Fatalf("got %d leaked goroutines, want 1", len(leaked))
+	}
+	if !strings.Contains(leaked[0].stack, "parkForLeak") {
+		t.Errorf("leak report does not name the parked function:\n%s", leaked[0].stack)
+	}
+}
+
+func parkForLeak(block chan struct{}) { <-block }
+
+// Ignore patterns exempt matching stacks from the sampler.
+func TestIgnorePattern(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	go parkForIgnore(block)
+	deadline := time.Now().Add(time.Second)
+	for Count("parkForIgnore") == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for _, g := range live([]string{"parkForIgnore"}) {
+		if strings.Contains(g.stack, "parkForIgnore") {
+			t.Errorf("ignore pattern did not exempt stack:\n%s", g.stack)
+		}
+	}
+}
+
+func parkForIgnore(block chan struct{}) { <-block }
+
+// Count sees a parked goroutine by stack substring and sees it leave.
+func TestCount(t *testing.T) {
+	block := make(chan struct{})
+	go parkForCount(block)
+	deadline := time.Now().Add(time.Second)
+	for Count("parkForCount") == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := Count("parkForCount"); got != 1 {
+		t.Errorf("Count(parkForCount) = %d, want 1", got)
+	}
+	close(block)
+	for Count("parkForCount") != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := Count("parkForCount"); got != 0 {
+		t.Errorf("Count(parkForCount) after exit = %d, want 0", got)
+	}
+}
+
+func parkForCount(block chan struct{}) { <-block }
+
+// The package checks itself: every test above joins its goroutines.
+func TestMain(m *testing.M) { Main(m) }

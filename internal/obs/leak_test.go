@@ -1,0 +1,14 @@
+package obs
+
+import (
+	"testing"
+
+	"cbma/internal/leaktest"
+)
+
+// TestMain fails the package run if any test leaves a goroutine behind —
+// sink writers, broadcaster subscribers, progress renderers must all be
+// collected by their Close/cancel paths.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

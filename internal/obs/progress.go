@@ -33,18 +33,24 @@ func NewProgress(w io.Writer, clock Clock) *Progress {
 }
 
 // Start begins a new segment of total points, resetting the line.
+//
+// The clock read and the write to p.w happen outside the critical section
+// (lockscope): only the counter mutation is serialized, so a slow stderr
+// never stalls concurrent Step callers.
 func (p *Progress) Start(label string, total int) {
 	if p == nil {
 		return
 	}
+	now := p.clock()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.label = label
 	p.total = total
 	p.done = 0
-	p.start = p.clock()
+	p.start = now
 	p.active = true
-	p.render()
+	line := p.line(now)
+	p.mu.Unlock()
+	fmt.Fprint(p.w, line)
 }
 
 // Step marks one point complete and redraws the line.
@@ -52,13 +58,16 @@ func (p *Progress) Step() {
 	if p == nil {
 		return
 	}
+	now := p.clock()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if !p.active {
+		p.mu.Unlock()
 		return
 	}
 	p.done++
-	p.render()
+	line := p.line(now)
+	p.mu.Unlock()
+	fmt.Fprint(p.w, line)
 }
 
 // Finish terminates the line with a newline so subsequent output starts
@@ -67,19 +76,21 @@ func (p *Progress) Finish() {
 	if p == nil {
 		return
 	}
+	now := p.clock()
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if !p.active {
+		p.mu.Unlock()
 		return
 	}
-	p.render()
-	fmt.Fprintln(p.w)
 	p.active = false
+	line := p.line(now)
+	p.mu.Unlock()
+	fmt.Fprint(p.w, line+"\n")
 }
 
-// render redraws the line; callers hold p.mu.
-func (p *Progress) render() {
-	elapsed := p.clock().Sub(p.start)
+// line formats the current progress; callers hold p.mu.
+func (p *Progress) line(now time.Time) string {
+	elapsed := now.Sub(p.start)
 	pct := 0.0
 	if p.total > 0 {
 		pct = 100 * float64(p.done) / float64(p.total)
@@ -92,7 +103,7 @@ func (p *Progress) render() {
 			line += fmt.Sprintf(" eta %s", roundDuration(eta))
 		}
 	}
-	fmt.Fprint(p.w, line)
+	return line
 }
 
 // roundDuration trims sub-perceptual precision so the line stays short.

@@ -1,8 +1,14 @@
 package obs
 
 import (
+	"bytes"
+	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
+
+	"cbma/internal/leaktest"
 )
 
 func TestBroadcasterReplayAndLive(t *testing.T) {
@@ -95,5 +101,86 @@ func TestBroadcasterSinkIntegration(t *testing.T) {
 	}
 	if _, open := <-live; open {
 		t.Error("broadcaster not closed by sink drain")
+	}
+}
+
+// TestBroadcasterChurn races subscribe/replay/unsubscribe cycles against a
+// publisher and the final Close. Invariants under churn: every byte
+// sequence a subscriber assembles (history + live chunks, in order) is a
+// contiguous prefix of the published stream — replay never skips or
+// reorders — and the post-Close history replays the whole stream. Run
+// under -race; the package TestMain then checks no goroutine leaked.
+func TestBroadcasterChurn(t *testing.T) {
+	leaktest.Check(t)
+	b := NewBroadcaster(0)
+
+	const writes = 400
+	var full bytes.Buffer
+	for i := 0; i < writes; i++ {
+		fmt.Fprintf(&full, "event-%04d\n", i)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			if _, err := fmt.Fprintf(b, "event-%04d\n", i); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			if i%64 == 0 {
+				runtime.Gosched() // let churners interleave
+			}
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; ; iter++ {
+				history, live, cancel := b.Subscribe()
+				got := append([]byte(nil), history...)
+				closed := false
+				// Odd iterations follow to the end; even ones bail early,
+				// exercising cancel while the publisher is mid-stream.
+				limit := len(got) + (iter%2)*full.Len()
+				for chunk := range live {
+					got = append(got, chunk...)
+					if len(got) > limit {
+						break
+					}
+				}
+				if len(got) == full.Len() {
+					closed = true
+				}
+				cancel()
+				if !bytes.HasPrefix(full.Bytes(), got) {
+					t.Errorf("churner %d iter %d: stream is not a prefix of the published bytes (len %d)", g, iter, len(got))
+					return
+				}
+				if closed && iter > 2 {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// A finished stream stays fully replayable: no event dropped.
+	history, live, cancel := b.Subscribe()
+	defer cancel()
+	if !bytes.Equal(history, full.Bytes()) {
+		t.Errorf("post-close replay lost events: got %d bytes, want %d", len(history), full.Len())
+	}
+	if _, open := <-live; open {
+		t.Error("post-close subscription delivered live data")
+	}
+	if b.Truncated() != 0 {
+		t.Errorf("Truncated() = %d, want 0", b.Truncated())
 	}
 }

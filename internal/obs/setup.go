@@ -77,6 +77,7 @@ func ServeDebug(addr string, r *Registry) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	//cbma:fireforget process-lifetime debug listener by contract (see doc comment); closing ln would race live scrapes
 	go func() { _ = http.Serve(ln, h) }()
 	return ln.Addr().String(), nil
 }

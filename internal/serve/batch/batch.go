@@ -73,10 +73,12 @@ type Request struct {
 
 // Job is an accepted submission making its way through the batcher.
 type Job struct {
-	id     string
-	what   string
-	class  string
-	ctx    context.Context
+	id    string
+	what  string
+	class string
+	// ctx travels with the queued submission so a job cancelled while
+	// still pending never executes; it is consumed once by runBatch.
+	ctx    context.Context //cbma:allow ctxflow queued-submission seam, audited
 	points []sim.Scenario
 
 	done    chan struct{}
@@ -120,8 +122,10 @@ type pending struct {
 
 // Batcher coalesces submissions and executes them through a core.Service.
 type Batcher struct {
-	cfg  Config
-	base context.Context
+	cfg Config
+	// base bounds every batch execution to the batcher's lifetime; Close
+	// cancels it to cut off in-flight campaigns at the drain deadline.
+	base context.Context //cbma:allow ctxflow batcher-lifetime root, audited seam
 	stop context.CancelFunc
 
 	mu      sync.Mutex
@@ -145,6 +149,7 @@ func New(cfg Config) *Batcher {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = 1
 	}
+	//cbma:allow ctxflow batcher-lifetime root: New has no caller ctx by design, Close bounds the drain
 	base, stop := context.WithCancel(context.Background())
 	return &Batcher{
 		cfg:     cfg,
@@ -165,7 +170,7 @@ func (b *Batcher) Submit(ctx context.Context, req Request) (*Job, error) {
 		return nil, ErrNoPoints
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //cbma:allow ctxflow nil-ctx default for tests; real callers pass one
 	}
 	b.mu.Lock()
 	if b.closed {
@@ -195,15 +200,7 @@ func (b *Batcher) Submit(ctx context.Context, req Request) (*Job, error) {
 		b.flushLocked(req.Class, "size")
 	} else if wasEmpty {
 		class := req.Class
-		p.timer = time.AfterFunc(b.cfg.MaxWait, func() {
-			b.mu.Lock()
-			defer b.mu.Unlock()
-			// The batch this timer armed for may already have flushed by
-			// size; only a still-pending queue flushes by timer.
-			if cur := b.classes[class]; cur != nil && len(cur.jobs) > 0 {
-				b.flushLocked(class, "timer")
-			}
-		})
+		p.timer = time.AfterFunc(b.cfg.MaxWait, func() { b.timerFlush(class, p) })
 	}
 	b.mu.Unlock()
 	if b.cfg.Obs.EmitsEvents() {
@@ -212,6 +209,20 @@ func (b *Batcher) Submit(ctx context.Context, req Request) (*Job, error) {
 		})
 	}
 	return j, nil
+}
+
+// timerFlush is the max-wait timer callback for one pending generation.
+// The identity check against the armed *pending is what makes a stale
+// timer harmless: Stop is advisory (the callback may already be running
+// when flushLocked calls it), and without the comparison a timer armed for
+// an already-flushed batch would prematurely flush the NEXT batch of the
+// same class, silently halving its coalescing window.
+func (b *Batcher) timerFlush(class string, p *pending) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cur := b.classes[class]; cur == p && len(cur.jobs) > 0 {
+		b.flushLocked(class, "timer")
+	}
 }
 
 // flushLocked detaches the class's pending batch and hands it to an

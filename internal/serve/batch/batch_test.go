@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"cbma/internal/leaktest"
 	"cbma/internal/obs"
 	"cbma/internal/serve/core"
 	"cbma/internal/sim"
@@ -337,4 +338,102 @@ func counterValue(snap obs.Snapshot, name string) int64 {
 		}
 	}
 	return 0
+}
+
+// A max-wait timer armed for one pending generation must never flush the
+// next generation of the same class: Stop is advisory (the callback may
+// already be scheduled when the size flush calls it), so timerFlush's
+// identity check is what protects the younger batch's coalescing window.
+func TestBatcherStaleTimerHarmless(t *testing.T) {
+	runner := &fakeRunner{}
+	o := obs.New(obs.Config{})
+	b := newBatcher(t, runner, Config{MaxBatch: 2, MaxWait: time.Hour, Obs: o})
+
+	j1, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	gen1 := b.classes[""]
+	b.mu.Unlock()
+	if gen1 == nil || gen1.timer == nil {
+		t.Fatal("first submission did not arm the max-wait timer")
+	}
+	j2, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(2)}}) // size flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(3)}}) // next generation
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	gen2 := b.classes[""]
+	b.mu.Unlock()
+	if gen2 == nil || gen2 == gen1 {
+		t.Fatalf("expected a fresh pending generation after the size flush (gen1=%p gen2=%p)", gen1, gen2)
+	}
+
+	// The stale callback fires after its batch is long gone: it must not
+	// touch gen2.
+	b.timerFlush("", gen1)
+	if got := o.Counter("serve.batch.flush.timer").Value(); got != 0 {
+		t.Fatalf("stale timer flushed a batch (flush.timer = %d)", got)
+	}
+	b.mu.Lock()
+	intact := b.classes[""] == gen2 && len(gen2.jobs) == 1
+	b.mu.Unlock()
+	if !intact {
+		t.Fatal("stale timer callback disturbed the younger pending batch")
+	}
+
+	// The live generation's own callback still flushes it.
+	b.timerFlush("", gen2)
+	if _, err := j3.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter("serve.batch.flush.timer").Value(); got != 1 {
+		t.Errorf("flush.timer = %d, want 1", got)
+	}
+	if _, err := j1.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Results(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A size-triggered flush stops the armed max-wait timer outright: after
+// the wait window passes, no timer callback has fired and no timer
+// goroutine is left running.
+func TestBatcherSizeFlushStopsTimer(t *testing.T) {
+	runner := &fakeRunner{}
+	o := obs.New(obs.Config{})
+	b := newBatcher(t, runner, Config{MaxBatch: 2, MaxWait: 30 * time.Millisecond, Obs: o})
+
+	j1, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := b.Submit(context.Background(), Request{Points: []sim.Scenario{point(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Results(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(3 * b.cfg.MaxWait) // well past the window the timer was armed for
+	if got := o.Counter("serve.batch.flush.timer").Value(); got != 0 {
+		t.Errorf("stopped timer still flushed (flush.timer = %d)", got)
+	}
+	if n := leaktest.Count("cbma/internal/serve/batch.(*Batcher).timerFlush"); n != 0 {
+		t.Errorf("%d timer callback goroutines still running", n)
+	}
+	if got := o.Counter("serve.batch.flush.size").Value(); got != 1 {
+		t.Errorf("flush.size = %d, want 1", got)
+	}
 }

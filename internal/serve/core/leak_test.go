@@ -1,0 +1,12 @@
+package core
+
+import (
+	"testing"
+
+	"cbma/internal/leaktest"
+)
+
+// TestMain fails the package run if any test leaves a goroutine behind.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

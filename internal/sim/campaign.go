@@ -82,7 +82,7 @@ func (e *CampaignError) Unwrap() []error {
 // metrics depend only on its scenario (see DeriveSeed for per-point seeds),
 // and rounds are bit-reproducible for any worker count.
 func RunCampaign(points []Scenario, opts CampaignOpts) ([]Metrics, error) {
-	return RunCampaignContext(context.Background(), points, opts)
+	return RunCampaignContext(context.Background(), points, opts) //cbma:allow ctxflow public convenience entrypoint roots its own context
 }
 
 // RunCampaignContext is RunCampaign with cooperative cancellation and

@@ -245,7 +245,7 @@ func (e *Engine) runRound(active []*tag.Tag) (roundResult, error) {
 // Scenario.Workers goroutines; the result is bit-identical for any worker
 // count.
 func (e *Engine) Run() (Metrics, error) {
-	return e.RunContext(context.Background())
+	return e.RunContext(context.Background()) //cbma:allow ctxflow public convenience entrypoint roots its own context
 }
 
 // RunContext is Run with cooperative cancellation: the engine checks ctx
@@ -507,7 +507,7 @@ func (e *Engine) explorePowerControl(ctx context.Context) (pcStats, error) {
 // controller carried the spent budget (and adjustment history) of earlier
 // placements into later ones.
 func (e *Engine) RunWithPositions(positions []geom.Point) (Metrics, error) {
-	return e.RunWithPositionsContext(context.Background(), positions)
+	return e.RunWithPositionsContext(context.Background(), positions) //cbma:allow ctxflow public convenience entrypoint roots its own context
 }
 
 // RunWithPositionsContext is RunWithPositions with cooperative cancellation
