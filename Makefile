@@ -2,7 +2,7 @@
 # commands. The repo is stdlib-only: no tool downloads are needed for
 # build/test/lint (staticcheck/govulncheck are CI extras).
 
-.PHONY: build test lint fmt fuzz bench serve-test leak-test
+.PHONY: build test lint fmt fuzz bench serve-test leak-test shard-test
 
 build:
 	go build ./...
@@ -38,3 +38,10 @@ serve-test:
 # every obs/serve/cbmad test package via TestMain).
 leak-test:
 	go test -race -count=1 -run 'Leak|Close|Drain|Churn|Timer|Daemon|Service' ./internal/obs/... ./internal/serve/... ./cmd/cbmad/
+
+# The sharded coordinator/worker layer under the race detector:
+# 1/2/4-shard bit-identical equivalence (including the subprocess wire),
+# chaos reassignment, and journaled resume with zero re-execution (see
+# DESIGN.md, "Distributed execution & resume").
+shard-test:
+	go test -race -count=1 ./internal/serve/shard/ ./internal/fault/

@@ -36,6 +36,7 @@ import (
 	"cbma/internal/obs"
 	"cbma/internal/serve/batch"
 	"cbma/internal/serve/core"
+	"cbma/internal/serve/shard"
 )
 
 func main() {
@@ -51,27 +52,62 @@ func run(argv []string) error {
 		addr         = fs.String("addr", ":8337", "listen address for the HTTP API")
 		cacheDir     = fs.String("cache-dir", "", "directory for the on-disk result cache (empty: memory only)")
 		cacheEntries = fs.Int("cache-entries", core.DefaultMemoryEntries, "in-memory cache capacity (entries)")
+		diskEntries  = fs.Int("cache-disk-entries", 0, "disk cache capacity in entries (0: unbounded; LRU eviction)")
+		diskBytes    = fs.Int64("cache-disk-bytes", 0, "disk cache capacity in bytes (0: unbounded; LRU eviction)")
 		maxBatch     = fs.Int("max-batch", 64, "flush a batch at this many points")
 		maxWait      = fs.Duration("max-wait", 150*time.Millisecond, "flush a non-full batch after this long")
 		workers      = fs.Int("workers", 0, "engine worker budget per executing batch (0: GOMAXPROCS)")
 		parallel     = fs.Int("parallel", 1, "concurrently executing batches")
 		drainWait    = fs.Duration("drain-wait", 30*time.Second, "shutdown budget for in-flight batches")
+		shards       = fs.Int("shards", 0, "execute each batch sharded across this many worker processes (0: in-process)")
+		journalDir   = fs.String("journal-dir", "", "root directory for per-campaign shard journals (with -shards; enables crash-tolerant resume)")
+		shardWorker  = fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout and exit (spawned by the coordinator)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	if *shardWorker {
+		return shard.ServeWorker(context.Background(), os.Stdin, os.Stdout, nil)
 	}
 
 	o := obs.New(obs.Config{Clock: obs.SystemClock()})
 
 	var store core.Store = core.NewMemoryStore(*cacheEntries)
 	if *cacheDir != "" {
-		disk, err := core.NewDiskStore(*cacheDir, o)
+		var (
+			disk *core.DiskStore
+			err  error
+		)
+		if *diskEntries > 0 || *diskBytes > 0 {
+			disk, err = core.NewBoundedDiskStore(*cacheDir,
+				core.DiskLimits{MaxEntries: *diskEntries, MaxBytes: *diskBytes},
+				obs.SystemClock(), o)
+		} else {
+			disk, err = core.NewDiskStore(*cacheDir, o)
+		}
 		if err != nil {
 			return fmt.Errorf("opening cache dir: %w", err)
 		}
 		store = core.NewTiered(store, disk)
 	}
-	svc := &core.Service{Runner: core.CampaignRunner{}, Store: store, Obs: o}
+	var runner core.Runner = core.CampaignRunner{}
+	if *shards > 0 {
+		// Sharded execution: each batch runs as a journaled campaign across
+		// worker processes (this binary, re-exec'd with -shard-worker), so a
+		// daemon restart mid-campaign resumes from committed points instead
+		// of recomputing them.
+		sub, err := shard.NewSubprocess(shard.SubprocessConfig{})
+		if err != nil {
+			return err
+		}
+		runner = shard.New(shard.Config{
+			Shards:      *shards,
+			Transport:   sub,
+			JournalRoot: *journalDir,
+			Obs:         o,
+		})
+	}
+	svc := &core.Service{Runner: runner, Store: store, Obs: o}
 	b := batch.New(batch.Config{
 		Service:  svc,
 		MaxBatch: *maxBatch,
@@ -90,8 +126,8 @@ func run(argv []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("cbmad %s listening on %s (cache-dir=%q mem-entries=%d max-batch=%d max-wait=%s workers=%d parallel=%d)",
-		obs.Version(), ln.Addr(), *cacheDir, *cacheEntries, *maxBatch, *maxWait, *workers, *parallel)
+	log.Printf("cbmad %s listening on %s (cache-dir=%q mem-entries=%d max-batch=%d max-wait=%s workers=%d parallel=%d shards=%d journal-dir=%q)",
+		obs.Version(), ln.Addr(), *cacheDir, *cacheEntries, *maxBatch, *maxWait, *workers, *parallel, *shards, *journalDir)
 
 	errc := make(chan error, 1)
 	//cbma:fireforget serve loop exits via httpSrv.Shutdown below; errc is buffered so the send never strands it

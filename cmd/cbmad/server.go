@@ -69,7 +69,8 @@ type server struct {
 	// place the request tree roots, set once at startup.
 	baseCtx   context.Context //cbma:allow ctxflow daemon-lifetime root, audited seam
 	maxPoints int
-	retain    int // finished jobs kept for status queries
+	maxBody   int64 // submit body byte cap, enforced by http.MaxBytesReader
+	retain    int   // finished jobs kept for status queries
 
 	wg sync.WaitGroup // tracks finishJob goroutines; drain() waits on it
 
@@ -81,6 +82,11 @@ type server struct {
 const (
 	defaultMaxPoints = 4096
 	defaultRetain    = 1024
+	// defaultMaxBody bounds the submit body. Scenarios are a few hundred
+	// bytes each, so 8 MiB clears the defaultMaxPoints worst case with
+	// headroom while keeping a hostile (or runaway) client from buffering
+	// the daemon into the ground.
+	defaultMaxBody = 8 << 20
 )
 
 // newServer wires the HTTP layer. baseCtx bounds every job's execution
@@ -91,6 +97,7 @@ func newServer(baseCtx context.Context, b *batch.Batcher, o *obs.Observer) *serv
 		o:         o,
 		baseCtx:   baseCtx,
 		maxPoints: defaultMaxPoints,
+		maxBody:   defaultMaxBody,
 		retain:    defaultRetain,
 		jobs:      make(map[string]*jobState),
 	}
@@ -127,11 +134,27 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before touching it: an oversized submission is a
+	// distinct, explicit 413 rather than a mid-decode read error, and a
+	// malformed one a 400 naming the decode failure.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req submitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	// A body with trailing garbage after the JSON document is malformed,
+	// not a second document.
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "request body holds trailing data after the JSON document")
 		return
 	}
 	points := req.Points

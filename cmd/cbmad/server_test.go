@@ -35,6 +35,7 @@ func (c *countingRunner) Run(ctx context.Context, points []sim.Scenario, opts si
 // batcher, real HTTP mux — only the listener is synthetic.
 type testDaemon struct {
 	ts     *httptest.Server
+	srv    *server
 	runner *countingRunner
 	o      *obs.Observer
 	b      *batch.Batcher
@@ -62,7 +63,7 @@ func startDaemon(t *testing.T) *testDaemon {
 		srv.drain() // collect finishJob goroutines before the leak check runs
 		http.DefaultClient.CloseIdleConnections()
 	})
-	return &testDaemon{ts: ts, runner: runner, o: o, b: b}
+	return &testDaemon{ts: ts, srv: srv, runner: runner, o: o, b: b}
 }
 
 func (d *testDaemon) submit(t *testing.T, body string) jobInfo {
@@ -293,6 +294,49 @@ func TestDaemonRejectsBadSubmissions(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
 		}
+	}
+}
+
+// Oversized submit bodies die at the MaxBytesReader with an explicit 413
+// JSON error; bodies with trailing garbage after the document are 400s.
+// Either way the decoder never buffers more than the configured cap.
+func TestDaemonBoundsSubmitBody(t *testing.T) {
+	d := startDaemon(t)
+	d.srv.maxBody = 512
+
+	huge := `{"what":"` + strings.Repeat("x", 4096) + `","points":[]}`
+	resp, err := http.Post(d.ts.URL+"/v1/campaigns", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status = %d, want 413", resp.StatusCode)
+	}
+	if err != nil || !strings.Contains(e.Error, "512") {
+		t.Errorf("oversized body: error = %q (decode err %v), want a JSON error naming the limit", e.Error, err)
+	}
+
+	// A valid document followed by garbage is malformed, not accepted.
+	d.srv.maxBody = defaultMaxBody
+	trailing := scenarioJSON(t, quickScenario(1)) + "garbage"
+	resp, err = http.Post(d.ts.URL+"/v1/campaigns", "application/json", strings.NewReader(trailing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing data: status = %d, want 400", resp.StatusCode)
+	}
+
+	// A well-formed submission under the cap still goes through.
+	inf := d.wait(t, d.submit(t, scenarioJSON(t, quickScenario(2))).ID)
+	if inf.Status != "done" {
+		t.Errorf("in-bounds submission: status = %q, want done", inf.Status)
 	}
 }
 

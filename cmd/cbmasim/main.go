@@ -25,6 +25,8 @@ import (
 	"cbma"
 	"cbma/internal/obs"
 	"cbma/internal/pn"
+	"cbma/internal/serve/shard"
+	"cbma/internal/sim"
 )
 
 func main() {
@@ -117,34 +119,43 @@ func parseRates(spec string) ([]float64, error) {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("cbmasim", flag.ContinueOnError)
 	var (
-		tags       = fs.Int("tags", 2, "concurrent tags")
-		family     = fs.String("family", "gold", "code family: gold, 2nc, walsh, kasami")
-		distance   = fs.Float64("distance", 1.0, "tag-to-receiver distance (m)")
-		packets    = fs.Int("packets", 200, "collision rounds")
-		payload    = fs.Int("payload", 16, "payload bytes per frame")
-		bitrate    = fs.Float64("bitrate", 1e6, "on-air bit rate (bps)")
-		txPower    = fs.Float64("tx-power", 20, "excitation power (dBm)")
-		preamble   = fs.Int("preamble", 8, "preamble length (bits)")
-		seed       = fs.Int64("seed", 1, "random seed")
-		pc         = fs.Bool("power-control", false, "enable the Algorithm 1 loop")
-		randImp    = fs.Bool("random-impedance", false, "boot tags in random impedance states")
-		nodeSel    = fs.Bool("node-selection", false, "enable §V-C node selection")
-		sic        = fs.Bool("sic", false, "enable successive interference cancellation")
-		interf     = fs.String("interference", "", "interference: '', wifi, bluetooth, ofdm")
-		perTag     = fs.Bool("per-tag", false, "print per-tag delivery ratios")
-		record     = fs.String("record", "", "write a channel trace to this file (§VIII-C emulation)")
-		replay     = fs.String("replay", "", "replay a channel trace from this file instead of live draws")
-		cfo        = fs.Float64("cfo-ppm", 0, "per-tag carrier frequency offset (± ppm)")
-		tracking   = fs.Bool("phase-tracking", false, "enable decision-directed phase tracking")
-		faultSpec  = fs.String("fault", "", "fault profile as k=v pairs: stuck, drift-chips, jitter-chips, outage, ack-loss, ack-corrupt, spurious-ack, feedback-retries, fallback-state, burst, burst-dbm, burst-sec, fade, fade-db, panic, transient, retries")
-		faultSweep = fs.String("fault-sweep", "", "sweep a fault knob over -sweep-rates: ack-loss or outage")
-		sweepRates = fs.String("sweep-rates", "0,0.1,0.2,0.3,0.4,0.5", "comma-separated rates for -fault-sweep")
-		obsOn      = fs.Bool("obs", false, "enable telemetry: stage timings, JSONL events and a run manifest under -obs-out")
-		obsOut     = fs.String("obs-out", "obs", "directory for events.jsonl and manifest.json (with -obs)")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		tags        = fs.Int("tags", 2, "concurrent tags")
+		family      = fs.String("family", "gold", "code family: gold, 2nc, walsh, kasami")
+		distance    = fs.Float64("distance", 1.0, "tag-to-receiver distance (m)")
+		packets     = fs.Int("packets", 200, "collision rounds")
+		payload     = fs.Int("payload", 16, "payload bytes per frame")
+		bitrate     = fs.Float64("bitrate", 1e6, "on-air bit rate (bps)")
+		txPower     = fs.Float64("tx-power", 20, "excitation power (dBm)")
+		preamble    = fs.Int("preamble", 8, "preamble length (bits)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		pc          = fs.Bool("power-control", false, "enable the Algorithm 1 loop")
+		randImp     = fs.Bool("random-impedance", false, "boot tags in random impedance states")
+		nodeSel     = fs.Bool("node-selection", false, "enable §V-C node selection")
+		sic         = fs.Bool("sic", false, "enable successive interference cancellation")
+		interf      = fs.String("interference", "", "interference: '', wifi, bluetooth, ofdm")
+		perTag      = fs.Bool("per-tag", false, "print per-tag delivery ratios")
+		record      = fs.String("record", "", "write a channel trace to this file (§VIII-C emulation)")
+		replay      = fs.String("replay", "", "replay a channel trace from this file instead of live draws")
+		cfo         = fs.Float64("cfo-ppm", 0, "per-tag carrier frequency offset (± ppm)")
+		tracking    = fs.Bool("phase-tracking", false, "enable decision-directed phase tracking")
+		faultSpec   = fs.String("fault", "", "fault profile as k=v pairs: stuck, drift-chips, jitter-chips, outage, ack-loss, ack-corrupt, spurious-ack, feedback-retries, fallback-state, burst, burst-dbm, burst-sec, fade, fade-db, panic, transient, retries")
+		faultSweep  = fs.String("fault-sweep", "", "sweep a fault knob over -sweep-rates: ack-loss or outage")
+		sweepRates  = fs.String("sweep-rates", "0,0.1,0.2,0.3,0.4,0.5", "comma-separated rates for -fault-sweep")
+		obsOn       = fs.Bool("obs", false, "enable telemetry: stage timings, JSONL events and a run manifest under -obs-out")
+		obsOut      = fs.String("obs-out", "obs", "directory for events.jsonl and manifest.json (with -obs)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		shards      = fs.Int("shards", 0, "run as a sharded campaign across this many worker processes (0 disables; implies crash-tolerant dispatch)")
+		resume      = fs.String("resume", "", "journal directory for checkpointed, resumable execution (implies -shards 1 when -shards is unset)")
+		shardWorker = fs.Bool("shard-worker", false, "internal: serve one shard assignment on stdin/stdout and exit (spawned by the coordinator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardWorker {
+		// Worker mode: this process IS the subprocess transport's far end.
+		// Everything it needs arrives on stdin; flags beyond this one are
+		// ignored by construction (the coordinator passes none).
+		return shard.ServeWorker(ctx, os.Stdin, os.Stdout, nil)
 	}
 
 	fam, err := pn.ParseFamily(*family)
@@ -186,6 +197,26 @@ func run(ctx context.Context, args []string) error {
 		scn.Fault = prof
 	}
 
+	// Sharded execution: the run becomes a campaign through the
+	// crash-tolerant coordinator, executed by worker processes that re-exec
+	// this binary with -shard-worker. Features that live in the System layer
+	// or do not survive the JSON wire cannot cross the process boundary and
+	// are refused up front.
+	shardN := *shards
+	if shardN == 0 && *resume != "" {
+		shardN = 1 // -resume alone still wants journaled, resumable dispatch
+	}
+	if shardN > 0 {
+		switch {
+		case *record != "" || *replay != "":
+			return errors.New("-shards/-resume is incompatible with -record/-replay (traces do not cross the worker boundary)")
+		case *nodeSel:
+			return errors.New("-shards/-resume is incompatible with -node-selection (a per-System feature)")
+		case *interf == "wifi" || *interf == "bluetooth":
+			return fmt.Errorf("-shards/-resume is incompatible with -interference %s (interferer models are not JSON-wireable)", *interf)
+		}
+	}
+
 	// Telemetry is assembled here, the composition root: the wall clock is
 	// captured once (obs.SystemClock) and injected; nothing below main reads
 	// time directly. With -obs the run streams JSONL events to
@@ -217,6 +248,19 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "cbmasim: debug endpoint at http://%s/debug/pprof/ (registry at /debug/vars)\n", bound)
 	}
+	var coord *shard.Coordinator
+	if shardN > 0 {
+		sub, err := shard.NewSubprocess(shard.SubprocessConfig{})
+		if err != nil {
+			return err
+		}
+		coord = shard.New(shard.Config{
+			Shards:     shardN,
+			Transport:  sub,
+			JournalDir: *resume,
+			Obs:        o,
+		})
+	}
 	// finishObs flushes the event sink and writes the run manifest; it is
 	// called on every exit path so a SIGINT leaves a complete (partial,
 	// Interrupted) telemetry record next to the partial metrics.
@@ -233,6 +277,10 @@ func run(ctx context.Context, args []string) error {
 		man.Workers = scn.Workers
 		man.Interrupted = interrupted
 		man.Result = result
+		if shardN > 0 {
+			man.Shards = shardN
+			man.Resumed = int(o.Counter("shard.points.restored").Value())
+		}
 		if h, herr := scn.Hash(); herr == nil {
 			man.ScenarioHash = h
 		}
@@ -247,7 +295,11 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		err = runFaultSweep(ctx, scn, *faultSweep, rates)
+		if coord != nil {
+			err = runFaultSweepSharded(ctx, scn, *faultSweep, rates, coord)
+		} else {
+			err = runFaultSweep(ctx, scn, *faultSweep, rates)
+		}
 		interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
 		if oerr := finishObs(nil, interrupted); err == nil {
 			err = oerr
@@ -255,48 +307,68 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	sys, err := cbma.NewSystem(cbma.SystemConfig{Scenario: scn, NodeSelection: *nodeSel})
-	if err != nil {
-		return err
-	}
-	var recorder *cbma.TraceRecorder
-	if *record != "" {
-		recorder = cbma.NewTraceRecorder(fmt.Sprintf("cbmasim tags=%d family=%s", *tags, fam))
-		sys.Engine().RecordTo(recorder)
-	}
-	if *replay != "" {
-		f, err := os.Open(*replay)
-		if err != nil {
+	var (
+		m           cbma.Metrics
+		rep         cbma.Report
+		interrupted bool
+	)
+	if coord != nil {
+		// Sharded: the scenario runs as a one-point campaign through the
+		// coordinator — journaled and resumable when -resume is set.
+		ms, rerr := coord.Run(ctx, []cbma.Scenario{scn}, cbma.CampaignOpts{What: "cbmasim"})
+		err = rerr
+		interrupted = err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
+		if err != nil && !interrupted {
+			_ = finishObs(nil, false)
 			return err
 		}
-		tr, err := cbma.ReadTrace(f)
-		f.Close()
-		if err != nil {
+		if len(ms) > 0 {
+			m = ms[0]
+		}
+	} else {
+		sys, serr := cbma.NewSystem(cbma.SystemConfig{Scenario: scn, NodeSelection: *nodeSel})
+		if serr != nil {
+			return serr
+		}
+		var recorder *cbma.TraceRecorder
+		if *record != "" {
+			recorder = cbma.NewTraceRecorder(fmt.Sprintf("cbmasim tags=%d family=%s", *tags, fam))
+			sys.Engine().RecordTo(recorder)
+		}
+		if *replay != "" {
+			f, ferr := os.Open(*replay)
+			if ferr != nil {
+				return ferr
+			}
+			tr, terr := cbma.ReadTrace(f)
+			f.Close()
+			if terr != nil {
+				return terr
+			}
+			sys.Engine().ReplayFrom(cbma.NewTracePlayer(tr))
+		}
+		rep, err = sys.RunContext(ctx)
+		interrupted = err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
+		if err != nil && !interrupted {
+			_ = finishObs(nil, false) // best effort: the run died on a config error
 			return err
 		}
-		sys.Engine().ReplayFrom(cbma.NewTracePlayer(tr))
-	}
-	rep, err := sys.RunContext(ctx)
-	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
-	if err != nil && !interrupted {
-		_ = finishObs(nil, false) // best effort: the run died on a config error
-		return err
-	}
-	if recorder != nil {
-		f, err := os.Create(*record)
-		if err != nil {
-			return err
+		if recorder != nil {
+			f, ferr := os.Create(*record)
+			if ferr != nil {
+				return ferr
+			}
+			werr := recorder.Trace().Write(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Printf("  trace recorded         %s (%d rounds)\n", *record, recorder.Len())
 		}
-		werr := recorder.Trace().Write(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
-		}
-		fmt.Printf("  trace recorded         %s (%d rounds)\n", *record, recorder.Len())
+		m = rep.Final
 	}
-	m := rep.Final
 	fmt.Printf("tags=%d family=%s distance=%.2fm bitrate=%.3gbps packets=%d\n",
 		*tags, fam, *distance, *bitrate, *packets)
 	// The content hash is the scenario's identity in result caches and run
@@ -359,6 +431,41 @@ func runFaultSweep(ctx context.Context, base cbma.Scenario, knob string, rates [
 	default:
 		return fmt.Errorf("unknown fault-sweep knob %q (want ack-loss or outage)", knob)
 	}
+	return printFaultSweep(ctx, base, rates, series, err)
+}
+
+// sweepMod resolves a -fault-sweep knob to the sweep's name and profile
+// modifier — the same pairs the in-process FaultSweep* wrappers use, so
+// both execution paths build identical campaign points.
+func sweepMod(knob string) (string, func(*cbma.FaultProfile, float64), error) {
+	switch knob {
+	case "ack-loss":
+		return "ack loss", func(p *cbma.FaultProfile, r float64) { p.AckLossProb = r }, nil
+	case "outage":
+		return "energy outage", func(p *cbma.FaultProfile, r float64) { p.EnergyOutageProb = r }, nil
+	default:
+		return "", nil, fmt.Errorf("unknown fault-sweep knob %q (want ack-loss or outage)", knob)
+	}
+}
+
+// runFaultSweepSharded is runFaultSweep through the sharded coordinator:
+// the sweep's points are built by the same sim.FaultSweepPoints the
+// in-process path uses, so the resulting curve is bit-identical — only
+// the execution substrate (worker processes, journal, retries) differs.
+func runFaultSweepSharded(ctx context.Context, base cbma.Scenario, knob string, rates []float64, coord *shard.Coordinator) error {
+	name, mod, err := sweepMod(knob)
+	if err != nil {
+		return err
+	}
+	points := sim.FaultSweepPoints(base, rates, mod)
+	ms, err := coord.Run(ctx, points, cbma.CampaignOpts{What: fmt.Sprintf("fault sweep: %s", name)})
+	return printFaultSweep(ctx, base, rates, sim.FaultSweepSeries(name, rates, ms), err)
+}
+
+// printFaultSweep renders a sweep's curve and classifies its error:
+// interrupts flush the finished prefix, partial campaign failures mark
+// their rows and list every per-point error, anything else propagates.
+func printFaultSweep(ctx context.Context, base cbma.Scenario, rates []float64, series cbma.Series, err error) error {
 	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
 	var cerr *cbma.CampaignError
 	partial := errors.As(err, &cerr)

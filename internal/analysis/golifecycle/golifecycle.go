@@ -38,11 +38,14 @@ var Analyzer = &framework.Analyzer{
 }
 
 // scope is the long-lived concurrency surface: the telemetry layer, the
-// campaign service layers, and the daemon. The simulation packages are
-// deliberately out of scope — their worker goroutines are short-lived,
-// WaitGroup-joined within a single Run call, and already policed by the
-// determinism analyzers. Packages outside the cbma module (the analyzer's
-// own fixtures) are always in scope.
+// campaign service layers — including the sharded coordinator/worker
+// layer (cbma/internal/serve/shard), whose dispatch, heartbeat-monitor
+// and single-writer goroutines this check polices via the serve prefix —
+// and the daemon. The simulation packages are deliberately out of scope —
+// their worker goroutines are short-lived, WaitGroup-joined within a
+// single Run call, and already policed by the determinism analyzers.
+// Packages outside the cbma module (the analyzer's own fixtures) are
+// always in scope.
 var scope = []string{
 	"cbma/internal/obs",
 	"cbma/internal/serve",

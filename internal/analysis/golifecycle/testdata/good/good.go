@@ -74,3 +74,38 @@ func reasonedWaiver(serve func() error) {
 func frameworkWaiver(spin func()) {
 	go spin() //cbma:allow golifecycle fixture demonstrates the generic suppression
 }
+
+// The shard worker's output pattern (internal/serve/shard): every write
+// funnels through one goroutine draining a closing channel, so no lock
+// ever spans the I/O; the owner closes lines and receives the final error.
+func singleWriterDrain(write func(int) error) (chan<- int, <-chan error) {
+	lines := make(chan int)
+	werr := make(chan error, 1)
+	go func() {
+		var err error
+		for l := range lines {
+			if err == nil {
+				err = write(l)
+			}
+		}
+		werr <- err
+	}()
+	return lines, werr
+}
+
+// The shard worker's liveness pattern: a WaitGroup-tracked heartbeat
+// goroutine stopped by a done channel.
+func heartbeatLoop(beat func(), done chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				beat()
+			}
+		}
+	}()
+}

@@ -63,3 +63,24 @@ func waived(work chan int, d time.Duration) {
 		<-time.After(d) //cbma:allow timerguard fixture demonstrates the suppression directive
 	}
 }
+
+// The shard coordinator's heartbeat-monitor idiom (internal/serve/shard):
+// one timer owned by a single goroutine, re-armed with the
+// stop-drain-reset dance on every beat so a stale expiry never fires.
+func monitorReset(timeout time.Duration, beats, done chan struct{}) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		select {
+		case <-beats:
+			if !t.Stop() {
+				<-t.C
+			}
+			t.Reset(timeout)
+		case <-t.C:
+			return
+		case <-done:
+			return
+		}
+	}
+}

@@ -34,8 +34,11 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// scope: all library packages of the module. Packages outside the cbma
-// module (fixtures) are always in scope.
+// scope: all library packages of the module — notably the shard
+// coordinator (cbma/internal/serve/shard), whose heartbeat monitor and
+// backoff sleeps are exactly the leak-prone timer patterns this check
+// exists for. Packages outside the cbma module (fixtures) are always in
+// scope.
 var scope = []string{
 	"cbma/internal",
 }

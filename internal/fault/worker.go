@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Worker-execution faults: the chaos model for the sharded campaign
+// coordinator (internal/serve/shard). Where Profile injects faults INSIDE
+// a simulation — stuck switches, lost ACKs, energy outages — WorkerProfile
+// injects faults AROUND it: the worker process executing a range of
+// campaign points crashes partway, stalls silently, or returns a corrupted
+// reply. The coordinator must survive all three with bit-identical final
+// Metrics, because a faulted worker never commits a wrong result — it
+// either commits a correct one or is retried.
+//
+// Determinism follows the package contract: the fault schedule for a
+// dispatch attempt is a pure function of (Seed, shard, attempt), derived
+// through a dedicated splitmix64 label chain, so a chaos test replays the
+// exact same crash/stall/corruption sequence on every run and at every
+// worker count. No global rand, no wall clock.
+
+// Sentinel errors the chaos transport returns so the coordinator (and
+// tests) can tell an injected failure from a real one with errors.Is.
+var (
+	// ErrWorkerCrash marks an injected mid-range worker death; any points
+	// delivered before the crash are already committed.
+	ErrWorkerCrash = errors.New("fault: injected worker crash")
+	// ErrWorkerCorrupt marks an injected reply corruption (the coordinator
+	// detects it via its own validation and fails the attempt).
+	ErrWorkerCorrupt = errors.New("fault: injected corrupt reply")
+)
+
+// WorkerProfile declares per-attempt execution faults for sharded dispatch.
+// Probabilities are clamped to [0,1]; the zero value injects nothing.
+type WorkerProfile struct {
+	// Seed roots the fault schedule. It is independent of scenario seeds:
+	// the same campaign can be chaos-tested under many schedules.
+	Seed int64
+	// CrashProb is the per-attempt probability that the worker dies after
+	// delivering a deterministic fraction of its assigned points
+	// (WorkerFault.CrashFrac). Delivered points stay committed, so a
+	// crashing-every-time worker still makes forward progress unless the
+	// drawn fraction is zero.
+	CrashProb float64
+	// StallProb is the per-attempt probability that the worker goes silent
+	// without dying: no results, no heartbeats, until the coordinator's
+	// heartbeat timeout cancels the attempt.
+	StallProb float64
+	// CorruptProb is the per-attempt probability that the worker's first
+	// reply is corrupted in flight (an out-of-assignment point index —
+	// detectable, like a checksum failure, rather than silently wrong).
+	CorruptProb float64
+}
+
+// Enabled reports whether the profile can inject anything.
+func (p WorkerProfile) Enabled() bool {
+	return p.CrashProb > 0 || p.StallProb > 0 || p.CorruptProb > 0
+}
+
+// WorkerFault is the resolved plan for one (shard, attempt) pair. At most
+// one fault fires per attempt; precedence is stall > crash > corrupt (a
+// stalled worker produces nothing, so the other faults are unobservable).
+type WorkerFault struct {
+	// Stall: produce nothing and block until cancelled.
+	Stall bool
+	// Crash: deliver CrashFrac of the assignment, then die.
+	Crash bool
+	// CrashFrac is the fraction of assigned points delivered before the
+	// crash, drawn uniformly — including zero, so repeated crashes
+	// exercise the coordinator's zero-progress retry cap.
+	CrashFrac float64
+	// Corrupt: mangle the first reply's point index.
+	Corrupt bool
+}
+
+// Fires reports whether any fault is planned.
+func (f WorkerFault) Fires() bool { return f.Stall || f.Crash || f.Corrupt }
+
+// workerSalt separates the worker-fault label chain from every other
+// splitmix64 use in the repo (sim.DeriveSeed uses different salts, so the
+// streams cannot collide even under equal seeds).
+const workerSalt = 0x9e3779b97f4a7c15
+
+// workerMix is splitmix64's output permutation — the same finalizer the
+// sim layer uses for seed derivation, duplicated here because fault must
+// not import sim (sim imports fault).
+func workerMix(x uint64) uint64 {
+	x += workerSalt
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// WorkerInjector derives per-(shard, attempt) fault plans from a profile.
+// It is stateless after construction and safe for concurrent use.
+type WorkerInjector struct {
+	p WorkerProfile
+}
+
+// NewWorkerInjector builds an injector, clamping probabilities into [0,1].
+func NewWorkerInjector(p WorkerProfile) *WorkerInjector {
+	clamp := func(v *float64) {
+		if *v < 0 {
+			*v = 0
+		}
+		if *v > 1 {
+			*v = 1
+		}
+	}
+	clamp(&p.CrashProb)
+	clamp(&p.StallProb)
+	clamp(&p.CorruptProb)
+	return &WorkerInjector{p: p}
+}
+
+// Profile returns the (clamped) profile.
+func (in *WorkerInjector) Profile() WorkerProfile { return in.p }
+
+// Plan resolves the fault plan for one dispatch attempt. The draw order is
+// fixed (stall, crash, crash fraction, corrupt) and every gate always
+// draws, so plans for different (shard, attempt) pairs are independent and
+// a plan never changes when an unrelated probability is zeroed out.
+func (in *WorkerInjector) Plan(shard, attempt int) WorkerFault {
+	seed := workerMix(workerMix(workerMix(uint64(in.p.Seed))^uint64(shard)) ^ uint64(attempt))
+	rng := rand.New(rand.NewSource(int64(seed)))
+	var f WorkerFault
+	stall := rng.Float64() < in.p.StallProb
+	crash := rng.Float64() < in.p.CrashProb
+	frac := rng.Float64()
+	corrupt := rng.Float64() < in.p.CorruptProb
+	switch {
+	case stall:
+		f.Stall = true
+	case crash:
+		f.Crash = true
+		f.CrashFrac = frac
+	case corrupt:
+		f.Corrupt = true
+	}
+	return f
+}

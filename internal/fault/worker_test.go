@@ -1,0 +1,77 @@
+package fault
+
+import "testing"
+
+func TestWorkerInjectorDeterministic(t *testing.T) {
+	in := NewWorkerInjector(WorkerProfile{Seed: 7, CrashProb: 0.4, StallProb: 0.2, CorruptProb: 0.3})
+	for shard := 0; shard < 8; shard++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := in.Plan(shard, attempt)
+			b := NewWorkerInjector(in.Profile()).Plan(shard, attempt)
+			if a != b {
+				t.Fatalf("plan(%d,%d) not deterministic: %+v vs %+v", shard, attempt, a, b)
+			}
+		}
+	}
+}
+
+func TestWorkerInjectorExclusiveFault(t *testing.T) {
+	in := NewWorkerInjector(WorkerProfile{Seed: 3, CrashProb: 1, StallProb: 1, CorruptProb: 1})
+	for shard := 0; shard < 16; shard++ {
+		f := in.Plan(shard, 0)
+		n := 0
+		if f.Stall {
+			n++
+		}
+		if f.Crash {
+			n++
+		}
+		if f.Corrupt {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("plan(%d,0) fired %d faults, want exactly 1 (stall wins): %+v", shard, n, f)
+		}
+		if !f.Stall {
+			t.Fatalf("plan(%d,0) with all probs 1 should stall (precedence), got %+v", shard, f)
+		}
+	}
+}
+
+func TestWorkerInjectorZeroProfile(t *testing.T) {
+	var p WorkerProfile
+	if p.Enabled() {
+		t.Fatal("zero profile reports Enabled")
+	}
+	in := NewWorkerInjector(p)
+	for shard := 0; shard < 8; shard++ {
+		if f := in.Plan(shard, 0); f.Fires() {
+			t.Fatalf("zero profile fired: %+v", f)
+		}
+	}
+}
+
+func TestWorkerInjectorClamps(t *testing.T) {
+	in := NewWorkerInjector(WorkerProfile{CrashProb: 2, StallProb: -1, CorruptProb: 1.5})
+	p := in.Profile()
+	if p.CrashProb != 1 || p.StallProb != 0 || p.CorruptProb != 1 {
+		t.Fatalf("probabilities not clamped: %+v", p)
+	}
+}
+
+// TestWorkerInjectorIndependence: zeroing one knob must not change whether
+// the other knobs fire for a given (shard, attempt) — gates always draw in
+// fixed order from an attempt-local stream.
+func TestWorkerInjectorIndependence(t *testing.T) {
+	full := NewWorkerInjector(WorkerProfile{Seed: 11, CrashProb: 0.5, StallProb: 0.3, CorruptProb: 0.4})
+	noStall := NewWorkerInjector(WorkerProfile{Seed: 11, CrashProb: 0.5, CorruptProb: 0.4})
+	for shard := 0; shard < 32; shard++ {
+		a, b := full.Plan(shard, 1), noStall.Plan(shard, 1)
+		if a.Stall {
+			continue // with stall suppressed, a lower-precedence fault may surface
+		}
+		if a.Crash != b.Crash || a.Corrupt != b.Corrupt || a.CrashFrac != b.CrashFrac {
+			t.Fatalf("shard %d: removing StallProb changed other draws: %+v vs %+v", shard, a, b)
+		}
+	}
+}

@@ -40,6 +40,8 @@ type Manifest struct {
 	WallNs       int64       `json:"wall_ns"`
 	Seed         int64       `json:"seed,omitempty"`
 	Workers      int         `json:"workers,omitempty"`
+	Shards       int         `json:"shards,omitempty"`
+	Resumed      int         `json:"resumed,omitempty"` // points restored from a journal, not re-executed
 	ScenarioHash string      `json:"scenario_hash,omitempty"`
 	Config       any         `json:"config,omitempty"`
 	Interrupted  bool        `json:"interrupted,omitempty"`

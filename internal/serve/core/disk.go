@@ -7,6 +7,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"cbma/internal/obs"
 )
@@ -19,10 +23,38 @@ import (
 // deleting the offending file so the key is recomputed and rewritten
 // cleanly. Writes go through a temp file and rename, so concurrent readers
 // never observe a half-written entry.
+//
+// A store opened with NewBoundedDiskStore additionally enforces
+// DiskLimits, evicting least-recently-used entries (recency is the file
+// modification time, which Get refreshes — an emulated atime, since real
+// atime is unreliable across mount options) so the cache can run
+// unattended without becoming a slow-motion disk-full outage.
 type DiskStore struct {
-	dir string
-	o   *obs.Observer
+	dir   string
+	o     *obs.Observer
+	lim   DiskLimits
+	clock obs.Clock // stamps the emulated atime; only set when bounded
+
+	// mu guards the approximate entry/byte accounting and serializes
+	// eviction sweeps. Only counters are touched under it on the Put fast
+	// path; the sweep's directory scan also runs under it, which at most
+	// delays concurrent Puts (Gets never take it).
+	mu      sync.Mutex
+	entries int
+	bytes   int64
 }
+
+// DiskLimits bounds a DiskStore. Zero fields are unlimited; the zero
+// value disables eviction entirely.
+type DiskLimits struct {
+	// MaxEntries caps the number of cached results.
+	MaxEntries int
+	// MaxBytes caps the total size of entry files.
+	MaxBytes int64
+}
+
+// bounded reports whether any limit is set.
+func (l DiskLimits) bounded() bool { return l.MaxEntries > 0 || l.MaxBytes > 0 }
 
 // diskEntry is the file format. Payload is the canonical JSON of the Entry
 // and Sum its hex SHA-256; keeping the payload as raw bytes means the
@@ -40,6 +72,31 @@ func NewDiskStore(dir string, o *obs.Observer) (*DiskStore, error) {
 		return nil, err
 	}
 	return &DiskStore{dir: dir, o: o}, nil
+}
+
+// NewBoundedDiskStore opens a disk store that enforces lim by LRU
+// eviction (serve.cache.disk_evicted counts removals). The clock stamps
+// entry recency on every hit; nil means the system clock — tests inject
+// obs.StepClock to make eviction order deterministic. Existing entries
+// are scanned on open so a restarted daemon inherits an accurate count.
+func NewBoundedDiskStore(dir string, lim DiskLimits, clock obs.Clock, o *obs.Observer) (*DiskStore, error) {
+	s, err := NewDiskStore(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	s.lim = lim
+	s.clock = clock
+	if s.clock == nil {
+		s.clock = obs.SystemClock()
+	}
+	if lim.bounded() {
+		files, total := s.scan()
+		s.entries, s.bytes = len(files), total
+		if s.overLimit(s.entries, s.bytes) {
+			s.evict()
+		}
+	}
+	return s, nil
 }
 
 // path maps a key to its entry file.
@@ -73,6 +130,13 @@ func (s *DiskStore) Get(k Key) (Entry, bool) {
 	if e.Key != k {
 		s.evictCorrupt(k)
 		return Entry{}, false
+	}
+	if s.lim.bounded() {
+		// Refresh recency (emulated atime): a hit entry moves to the back
+		// of the eviction order. Best effort — a failed touch only ages
+		// the entry early.
+		now := s.clock()
+		_ = os.Chtimes(s.path(k), now, now)
 	}
 	return e, true
 }
@@ -116,8 +180,100 @@ func (s *DiskStore) Put(k Key, e Entry) {
 		s.o.Counter("serve.cache.disk_errors").Inc()
 		return
 	}
+	var oldSize int64 = -1
+	if s.lim.bounded() {
+		// A replacement swaps bytes rather than adding an entry; learn the
+		// old size before the rename destroys it.
+		if fi, err := os.Stat(s.path(k)); err == nil {
+			oldSize = fi.Size()
+		}
+	}
 	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
 		_ = os.Remove(tmp.Name())
 		s.o.Counter("serve.cache.disk_errors").Inc()
+		return
+	}
+	if s.lim.bounded() {
+		written := int64(buf.Len())
+		s.mu.Lock()
+		if oldSize >= 0 {
+			s.bytes += written - oldSize
+		} else {
+			s.entries++
+			s.bytes += written
+		}
+		over := s.overLimit(s.entries, s.bytes)
+		s.mu.Unlock()
+		if over {
+			s.evict()
+		}
+	}
+}
+
+// diskFile is one entry file as seen by a directory scan.
+type diskFile struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// scan lists the store's entry files with their sizes and recency stamps.
+// Temp files and anything non-entry are ignored; a file that vanishes
+// mid-scan (concurrent eviction, corruption cleanup) is simply skipped.
+func (s *DiskStore) scan() ([]diskFile, int64) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, 0
+	}
+	var files []diskFile
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, diskFile{name: de.Name(), size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	}
+	return files, total
+}
+
+// overLimit reports whether n entries totalling b bytes exceed the limits.
+func (s *DiskStore) overLimit(n int, b int64) bool {
+	return (s.lim.MaxEntries > 0 && n > s.lim.MaxEntries) ||
+		(s.lim.MaxBytes > 0 && b > s.lim.MaxBytes)
+}
+
+// evict sweeps least-recently-used entries until the store is within its
+// limits. The sweep rescans the directory rather than trusting the fast
+// counters, so drift from corruption cleanup or external deletion
+// self-heals on every sweep.
+func (s *DiskStore) evict() {
+	var removed int
+	s.mu.Lock()
+	files, total := s.scan()
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	n := len(files)
+	for _, f := range files {
+		if !s.overLimit(n, total) {
+			break
+		}
+		if err := os.Remove(filepath.Join(s.dir, f.name)); err != nil {
+			continue
+		}
+		n--
+		total -= f.size
+		removed++
+	}
+	s.entries, s.bytes = n, total
+	s.mu.Unlock()
+	if removed > 0 {
+		s.o.Counter("serve.cache.disk_evicted").Add(int64(removed))
+		if s.o.EmitsEvents() {
+			s.o.Emit("cache_evict", map[string]any{"removed": removed})
+		}
 	}
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"cbma/internal/obs"
+)
+
+// touch pins an entry file's recency stamp so eviction order is
+// deterministic regardless of filesystem timestamp granularity.
+func touch(t *testing.T, s *DiskStore, k Key, at time.Time) {
+	t.Helper()
+	if err := os.Chtimes(s.path(k), at, at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var boundEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBoundedDiskStoreMaxEntries(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s, err := NewBoundedDiskStore(t.TempDir(), DiskLimits{MaxEntries: 2}, obs.StepClock(boundEpoch, time.Second), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), testEntry(1))
+	touch(t, s, testKey(1), boundEpoch.Add(-3*time.Hour))
+	s.Put(testKey(2), testEntry(2))
+	touch(t, s, testKey(2), boundEpoch.Add(-2*time.Hour))
+	s.Put(testKey(3), testEntry(3)) // over: LRU (entry 1) must go
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Error("entry 1 survived eviction, want LRU evicted")
+	}
+	if _, ok := s.Get(testKey(2)); !ok {
+		t.Error("entry 2 evicted despite being newer")
+	}
+	if _, ok := s.Get(testKey(3)); !ok {
+		t.Error("entry 3 missing right after Put")
+	}
+	if n := o.Counter("serve.cache.disk_evicted").Value(); n != 1 {
+		t.Errorf("disk_evicted = %d, want 1", n)
+	}
+}
+
+func TestBoundedDiskStoreMaxBytes(t *testing.T) {
+	// Measure one entry's on-disk size with an unbounded probe store;
+	// entries 1..3 serialize to the same length (same key and digit widths).
+	probe, err := NewDiskStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Put(testKey(1), testEntry(1))
+	fi, err := os.Stat(probe.path(testKey(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := fi.Size()
+
+	o := obs.New(obs.Config{})
+	s, err := NewBoundedDiskStore(t.TempDir(), DiskLimits{MaxBytes: 2 * sz}, obs.StepClock(boundEpoch, time.Second), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), testEntry(1))
+	touch(t, s, testKey(1), boundEpoch.Add(-3*time.Hour))
+	s.Put(testKey(2), testEntry(2))
+	touch(t, s, testKey(2), boundEpoch.Add(-2*time.Hour))
+	s.Put(testKey(3), testEntry(3)) // 3*sz > 2*sz: oldest goes
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Error("entry 1 survived byte-limit eviction")
+	}
+	if _, ok := s.Get(testKey(2)); !ok {
+		t.Error("entry 2 evicted, want only the LRU entry removed")
+	}
+	if _, ok := s.Get(testKey(3)); !ok {
+		t.Error("entry 3 missing right after Put")
+	}
+}
+
+// TestBoundedDiskStoreGetRefreshesRecency: a Get moves an entry to the
+// back of the eviction order (the emulated atime), so a hot old entry
+// outlives a cold newer one.
+func TestBoundedDiskStoreGetRefreshesRecency(t *testing.T) {
+	s, err := NewBoundedDiskStore(t.TempDir(), DiskLimits{MaxEntries: 2}, obs.StepClock(boundEpoch, time.Second), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), testEntry(1))
+	touch(t, s, testKey(1), boundEpoch.Add(-3*time.Hour))
+	s.Put(testKey(2), testEntry(2))
+	touch(t, s, testKey(2), boundEpoch.Add(-2*time.Hour))
+	if _, ok := s.Get(testKey(1)); !ok { // refresh: 1 is now the newest
+		t.Fatal("entry 1 missing before capacity reached")
+	}
+	s.Put(testKey(3), testEntry(3)) // over: entry 2 is now the LRU
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Error("entry 2 survived eviction, want LRU evicted")
+	}
+	if _, ok := s.Get(testKey(1)); !ok {
+		t.Error("entry 1 evicted despite Get refresh")
+	}
+}
+
+// TestBoundedDiskStoreRescanOnOpen: a restarted daemon inherits the
+// previous process's cache contents and immediately enforces its limits.
+func TestBoundedDiskStoreRescanOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	prev, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(1); n <= 3; n++ {
+		prev.Put(testKey(n), testEntry(n))
+		touch(t, prev, testKey(n), boundEpoch.Add(time.Duration(n-10)*time.Hour))
+	}
+
+	o := obs.New(obs.Config{})
+	s, err := NewBoundedDiskStore(dir, DiskLimits{MaxEntries: 2}, obs.StepClock(boundEpoch, time.Second), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey(1)); ok {
+		t.Error("oldest inherited entry survived open-time eviction")
+	}
+	for n := int64(2); n <= 3; n++ {
+		if _, ok := s.Get(testKey(n)); !ok {
+			t.Errorf("inherited entry %d evicted, want kept", n)
+		}
+	}
+	if n := o.Counter("serve.cache.disk_evicted").Value(); n != 1 {
+		t.Errorf("disk_evicted = %d, want 1", n)
+	}
+}
+
+// TestBoundedDiskStoreReplaceNotDoubleCounted: replacing an entry swaps
+// bytes instead of adding a phantom entry, so a workload that rewrites the
+// same keys never triggers eviction.
+func TestBoundedDiskStoreReplaceNotDoubleCounted(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s, err := NewBoundedDiskStore(t.TempDir(), DiskLimits{MaxEntries: 2}, obs.StepClock(boundEpoch, time.Second), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(testKey(1), testEntry(1))
+	s.Put(testKey(1), testEntry(1))
+	s.Put(testKey(1), testEntry(1))
+	s.Put(testKey(2), testEntry(2))
+	for n := int64(1); n <= 2; n++ {
+		if _, ok := s.Get(testKey(n)); !ok {
+			t.Errorf("entry %d missing; replacement must not count as growth", n)
+		}
+	}
+	if n := o.Counter("serve.cache.disk_evicted").Value(); n != 0 {
+		t.Errorf("disk_evicted = %d, want 0", n)
+	}
+}
+
+// TestUnboundedDiskStoreNeverEvicts: the plain constructor keeps the old
+// contract — no limits, no recency touches, no sweeps.
+func TestUnboundedDiskStoreNeverEvicts(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := int64(1); n <= 50; n++ {
+		s.Put(testKey(n), testEntry(n))
+	}
+	for n := int64(1); n <= 50; n++ {
+		if _, ok := s.Get(testKey(n)); !ok {
+			t.Fatalf("entry %d missing from unbounded store", n)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"context"
+
+	"cbma/internal/fault"
+)
+
+// FaultyTransport is the coordinator's chaos harness: it wraps a real
+// Transport and injects worker-level execution faults on the
+// deterministic per-(shard, attempt) schedule a fault.WorkerInjector
+// derives — mirroring how the engine's fault layer wraps the simulation.
+// Injected faults are NEVER wrong results: a crash delivers a correct
+// prefix then dies, a stall delivers nothing until the heartbeat monitor
+// cancels it, and a corruption mangles a reply's point index so the
+// coordinator's validation catches it. Degraded-but-correct completion is
+// therefore testable: the final Metrics must be bit-identical to a
+// fault-free run.
+type FaultyTransport struct {
+	Inner    Transport
+	Injector *fault.WorkerInjector
+}
+
+// Execute implements Transport.
+func (t *FaultyTransport) Execute(ctx context.Context, a Assignment, sink Sink) error {
+	f := t.Injector.Plan(a.Shard, a.Attempt)
+	switch {
+	case f.Stall:
+		// Silence until the coordinator gives up on us.
+		<-ctx.Done()
+		return ctx.Err()
+	case f.Crash:
+		cs := &crashSink{Sink: sink, budget: int(f.CrashFrac * float64(len(a.Indices)))}
+		err := t.Inner.Execute(ctx, a, cs)
+		if cs.tripped {
+			return fault.ErrWorkerCrash
+		}
+		return err
+	case f.Corrupt:
+		return t.Inner.Execute(ctx, a, &corruptSink{Sink: sink})
+	default:
+		return t.Inner.Execute(ctx, a, sink)
+	}
+}
+
+// crashSink forwards the first budget deliveries, then reports the
+// injected death. The inner transport sees the delivery error and aborts
+// — exactly like a worker process dying between two results.
+type crashSink struct {
+	Sink
+	budget  int
+	seen    int
+	tripped bool
+}
+
+func (s *crashSink) Deliver(r PointResult) error {
+	if s.seen >= s.budget {
+		s.tripped = true
+		return fault.ErrWorkerCrash
+	}
+	s.seen++
+	return s.Sink.Deliver(r)
+}
+
+// corruptSink mangles the first delivery's point index into one outside
+// any possible assignment. The coordinator's validation must refuse it
+// (ErrCorruptReply) — the fault is detectable, like a checksum failure,
+// never a silently wrong result.
+type corruptSink struct {
+	Sink
+	fired bool
+}
+
+func (s *corruptSink) Deliver(r PointResult) error {
+	if !s.fired {
+		s.fired = true
+		r.Index = -1 - r.Index
+	}
+	return s.Sink.Deliver(r)
+}

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"cbma/internal/obs"
+	"cbma/internal/serve/core"
+	"cbma/internal/sim"
+)
+
+// The journal is the coordinator's checkpoint: every committed point
+// result is written to disk as it completes, so a campaign interrupted by
+// SIGINT, a worker kill -9 or a coordinator restart resumes from the
+// committed set with zero re-execution. It reuses the serve/core content-
+// addressed DiskStore for the per-point entries — the same checksummed,
+// temp-file-then-rename format as the result cache, so a torn final write
+// surfaces as a checksum miss on resume and costs exactly one point's
+// recomputation, never a wrong result.
+//
+// Layout under the journal directory:
+//
+//	journal.json   campaign identity: schema, campaign hash, point count
+//	points/        one DiskStore entry per committed point, keyed by
+//	               (Scenario.Hash(), seed, "p<index>")
+//
+// The campaign hash binds the journal to the exact ordered point set; a
+// journal left over from a different campaign is refused with
+// ErrJournalMismatch rather than silently serving wrong results.
+
+// journalSchema versions the meta file format.
+const journalSchema = "cbma/shard-journal/v1"
+
+// ErrJournalMismatch is returned (wrapped, with detail) when an existing
+// journal directory belongs to a different campaign — different points,
+// order, or count. Detect it with errors.Is.
+var ErrJournalMismatch = errors.New("shard: journal belongs to a different campaign")
+
+// journalMeta is the journal.json body.
+type journalMeta struct {
+	Schema       string `json:"schema"`
+	CampaignHash string `json:"campaign_hash"`
+	Points       int    `json:"points"`
+	What         string `json:"what,omitempty"`
+}
+
+// CampaignHash derives the campaign's identity from its ordered per-point
+// scenario hashes: SHA-256 over the schema tag and the hash list. Point
+// order matters — the journal stores results by campaign index, so a
+// reordered campaign is a different campaign.
+func CampaignHash(hashes []string) string {
+	h := sha256.New()
+	h.Write([]byte(journalSchema))
+	for _, ph := range hashes {
+		h.Write([]byte{'\n'})
+		h.Write([]byte(ph))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Journal persists committed point results for one campaign.
+type Journal struct {
+	dir   string
+	store core.Store
+}
+
+// OpenJournal opens (creating if needed) the journal at dir for the
+// campaign identified by the ordered point hashes. An existing journal for
+// a different campaign returns ErrJournalMismatch; a fresh directory is
+// initialized with the campaign's identity (written atomically, so a crash
+// mid-open leaves either no journal or a complete one).
+func OpenJournal(dir, what string, hashes []string, o *obs.Observer) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	want := journalMeta{Schema: journalSchema, CampaignHash: CampaignHash(hashes), Points: len(hashes), What: what}
+	metaPath := filepath.Join(dir, "journal.json")
+	if b, err := os.ReadFile(metaPath); err == nil {
+		var got journalMeta
+		if err := json.Unmarshal(b, &got); err != nil {
+			return nil, fmt.Errorf("shard: journal %s: unreadable meta: %v", dir, err)
+		}
+		if got.Schema != want.Schema || got.CampaignHash != want.CampaignHash || got.Points != want.Points {
+			return nil, fmt.Errorf("%w: %s holds %q (%d points), campaign is %q (%d points)",
+				ErrJournalMismatch, dir, got.CampaignHash, got.Points, want.CampaignHash, want.Points)
+		}
+	} else {
+		b, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		tmp, err := os.CreateTemp(dir, "meta-*.tmp")
+		if err != nil {
+			return nil, err
+		}
+		_, werr := tmp.Write(append(b, '\n'))
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), metaPath)
+		}
+		if werr != nil {
+			_ = os.Remove(tmp.Name())
+			return nil, werr
+		}
+	}
+	store, err := core.NewDiskStore(filepath.Join(dir, "points"), o)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{dir: dir, store: store}, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// pointKey addresses one committed point: content hash plus campaign index
+// (the index disambiguates a campaign that legitimately repeats a point).
+func pointKey(idx int, hash string, seed int64) core.Key {
+	return core.Key{ScenarioHash: hash, Seed: seed, Options: "p" + strconv.Itoa(idx)}
+}
+
+// Committed returns the journaled result for point idx, if one exists.
+// DiskStore's checksum and key-match verification make this safe against
+// torn writes and renamed files: damage reads as a miss (the point simply
+// re-executes), never as a wrong result.
+func (j *Journal) Committed(idx int, hash string, seed int64) (sim.Metrics, bool) {
+	e, ok := j.store.Get(pointKey(idx, hash, seed))
+	if !ok {
+		return sim.Metrics{}, false
+	}
+	return e.Metrics, true
+}
+
+// Commit journals one completed point. Write failures degrade resume (the
+// point would re-execute) but never the running campaign — DiskStore
+// counts them and moves on, matching the cache's "store is an
+// optimization, never an authority" contract.
+func (j *Journal) Commit(idx int, hash string, seed int64, m sim.Metrics) {
+	k := pointKey(idx, hash, seed)
+	j.store.Put(k, core.Entry{Key: k, Metrics: m})
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cbma/internal/sim"
+)
+
+func journalHashes(t *testing.T, points []sim.Scenario) []string {
+	t.Helper()
+	hashes := make([]string, len(points))
+	for i := range points {
+		h, err := points[i].Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[i] = h
+	}
+	return hashes
+}
+
+// TestJournalRoundTrip: commit, reopen, read back — the committed set
+// survives a coordinator restart byte-identically.
+func TestJournalRoundTrip(t *testing.T) {
+	points := campaignPoints(t, false)
+	hashes := journalHashes(t, points)
+	dir := t.TempDir()
+
+	j, err := OpenJournal(dir, "rt", hashes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics{FramesSent: 7, FramesDelivered: 5, FER: 0.25}
+	j.Commit(2, hashes[2], points[2].Seed, m)
+
+	j2, err := OpenJournal(dir, "rt", hashes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j2.Committed(2, hashes[2], points[2].Seed)
+	if !ok {
+		t.Fatal("committed point lost across reopen")
+	}
+	metricsEqualJSON(t, []sim.Metrics{m}, []sim.Metrics{got})
+	if _, ok := j2.Committed(1, hashes[1], points[1].Seed); ok {
+		t.Fatal("uncommitted point reported as committed")
+	}
+	// The same scenario hash under a different campaign index is a
+	// different journal slot: index is part of the address.
+	if _, ok := j2.Committed(3, hashes[2], points[2].Seed); ok {
+		t.Fatal("index not part of the journal address")
+	}
+}
+
+// TestJournalMismatchRefused (satellite: resume semantics): a journal
+// directory holding a different campaign — different points, order or
+// count — is refused with the typed ErrJournalMismatch, both at the
+// journal layer and through the coordinator.
+func TestJournalMismatchRefused(t *testing.T) {
+	points := campaignPoints(t, false)
+	hashes := journalHashes(t, points)
+	dir := t.TempDir()
+	if _, err := OpenJournal(dir, "a", hashes, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	other := campaignPoints(t, false)
+	other[0].Seed++
+	otherHashes := journalHashes(t, other)
+	if _, err := OpenJournal(dir, "a", otherHashes, nil); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("different campaign: err = %v, want ErrJournalMismatch", err)
+	}
+	// Reordering the same points is also a different campaign: results
+	// are stored by campaign index.
+	reordered := append([]string(nil), hashes...)
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	if _, err := OpenJournal(dir, "a", reordered, nil); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("reordered campaign: err = %v, want ErrJournalMismatch", err)
+	}
+	// And through the coordinator, so CLI -resume with a stale directory
+	// fails loudly instead of serving the wrong campaign's results.
+	c := New(Config{JournalDir: dir})
+	if _, err := c.Run(context.Background(), other, sim.CampaignOpts{}); !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("coordinator resume: err = %v, want ErrJournalMismatch", err)
+	}
+}
+
+// TestJournalTornWriteRecovers (satellite: resume semantics): a torn
+// final write — an entry truncated mid-byte by a crash, plus a stranded
+// temp file — reads as a miss on resume, so exactly that point
+// re-executes; nothing is lost and nothing wrong is served.
+func TestJournalTornWriteRecovers(t *testing.T) {
+	points := campaignPoints(t, false)
+	want, err := sim.RunCampaign(points, sim.CampaignOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	run1 := newIndexCountingRunner()
+	c1 := New(Config{Shards: 2, Transport: Local{Runner: run1}, JournalDir: dir, Backoff: time.Millisecond})
+	if _, err := c1.Run(context.Background(), points, sim.CampaignOpts{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear one committed entry the way a crash mid-write would have (the
+	// rename is atomic, so a REAL torn write can only be a stranded temp
+	// file — but belt and braces, damage the final file too).
+	entries, err := filepath.Glob(filepath.Join(dir, "points", "*.json"))
+	if err != nil || len(entries) != len(points) {
+		t.Fatalf("journal holds %d entries (err %v), want %d", len(entries), err, len(points))
+	}
+	b, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "points", "put-stranded.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run2 := newIndexCountingRunner()
+	c2 := New(Config{Shards: 2, Transport: Local{Runner: run2}, JournalDir: dir, Backoff: time.Millisecond})
+	got, err := c2.Run(context.Background(), points, sim.CampaignOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsEqualJSON(t, want, got)
+	if n := run2.total(); n != 1 {
+		t.Errorf("resume after torn write executed %d points, want exactly 1 (the damaged entry)", n)
+	}
+}
+
+// TestJournalRootDerivesPerCampaignDir: with JournalRoot, two different
+// campaigns journal side by side without colliding.
+func TestJournalRootDerivesPerCampaignDir(t *testing.T) {
+	root := t.TempDir()
+	a := campaignPoints(t, false)[:2]
+	b := campaignPoints(t, false)[2:4]
+
+	ca := New(Config{JournalRoot: root, Backoff: time.Millisecond})
+	if _, err := ca.Run(context.Background(), a, sim.CampaignOpts{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cb := New(Config{JournalRoot: root, Backoff: time.Millisecond})
+	if _, err := cb.Run(context.Background(), b, sim.CampaignOpts{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("journal root holds %d campaign dirs, want 2", len(dirs))
+	}
+	// Resuming campaign a under the same root restores everything.
+	run := newIndexCountingRunner()
+	ca2 := New(Config{JournalRoot: root, Transport: Local{Runner: run}})
+	if _, err := ca2.Run(context.Background(), a, sim.CampaignOpts{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := run.total(); n != 0 {
+		t.Errorf("resume under JournalRoot executed %d points, want 0", n)
+	}
+}

@@ -1,0 +1,20 @@
+package shard
+
+import (
+	"os"
+	"testing"
+
+	"cbma/internal/leaktest"
+)
+
+// TestMain fails the package run if any test leaves a goroutine behind —
+// the coordinator's dispatch workers and heartbeat monitors must all be
+// joined on every exit path. It also hosts the subprocess tests' worker
+// mode: when re-exec'd with the worker env var set, the test binary acts
+// as a shard worker instead of running tests.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerModeEnv) == "1" {
+		os.Exit(workerMain())
+	}
+	leaktest.Main(m)
+}

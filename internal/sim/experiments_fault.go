@@ -28,7 +28,18 @@ import (
 // (unfinished points hold the zero Metrics) together with the context's
 // error, so an interrupted sweep still flushes its partial curve.
 func FaultSweep(ctx context.Context, base Scenario, name string, rates []float64, mod func(*fault.Profile, float64)) (Series, error) {
-	s := Series{Name: name}
+	points := FaultSweepPoints(base, rates, mod)
+	ms, err := RunCampaignContext(ctx, points, CampaignOpts{What: fmt.Sprintf("fault sweep: %s", name)})
+	return FaultSweepSeries(name, rates, ms), err
+}
+
+// FaultSweepPoints builds the campaign points a FaultSweep runs — one
+// scenario per rate, all under the same derived seed (common random
+// numbers; see FaultSweep). Exported so callers that execute campaigns
+// through another engine (the sharded coordinator, the daemon) run the
+// exact same points the in-process sweep would, keeping results
+// bit-identical across execution paths.
+func FaultSweepPoints(base Scenario, rates []float64, mod func(*fault.Profile, float64)) []Scenario {
 	points := make([]Scenario, 0, len(rates))
 	for _, r := range rates {
 		scn := base
@@ -43,14 +54,21 @@ func FaultSweep(ctx context.Context, base Scenario, name string, rates []float64
 		scn.Fault = &prof
 		points = append(points, scn)
 	}
-	ms, err := RunCampaignContext(ctx, points, CampaignOpts{What: fmt.Sprintf("fault sweep: %s", name)})
+	return points
+}
+
+// FaultSweepSeries assembles a sweep's Series from the campaign metrics,
+// tolerating a short ms (an interrupted campaign flushes the points
+// finished so far; unfinished ones hold the zero Metrics).
+func FaultSweepSeries(name string, rates []float64, ms []Metrics) Series {
+	s := Series{Name: name}
 	for i, r := range rates {
 		if i >= len(ms) {
 			break
 		}
 		s.Points = append(s.Points, Point{X: r, Metrics: ms[i]})
 	}
-	return s, err
+	return s
 }
 
 // FaultSweepAckLoss sweeps the feedback ACK-loss probability — the
