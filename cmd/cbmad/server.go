@@ -38,6 +38,7 @@ type jobInfo struct {
 	Class   string             `json:"class,omitempty"`
 	Points  int                `json:"points"`
 	Status  string             `json:"status"` // pending | done | failed | canceled
+	TraceID string             `json:"trace_id,omitempty"`
 	Batch   int                `json:"batch,omitempty"`
 	Error   string             `json:"error,omitempty"`
 	Results []core.PointResult `json:"results,omitempty"`
@@ -113,6 +114,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/campaigns/{id}/manifest", s.handleManifest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", obs.PrometheusHandler(func() obs.Snapshot {
+		return s.o.Registry().Snapshot()
+	}))
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -182,10 +186,13 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Per-job telemetry pipeline: events stream through a broadcaster so
-	// any number of /events readers can replay and follow them.
+	// any number of /events readers can replay and follow them. Each job
+	// gets a trace ID up front, so even a pending job's events (and a
+	// sharded run's worker relays) are correlated from the first line.
 	bcast := obs.NewBroadcaster(0)
 	sink := obs.NewSink(bcast, obs.DefaultSinkBuffer)
 	jobObs := obs.New(obs.Config{Clock: obs.SystemClock(), Sink: sink})
+	jobObs.EnsureTrace()
 	for i := range points {
 		points[i].Workers = 0
 		points[i].Obs = jobObs
@@ -238,6 +245,16 @@ func (s *server) finishJob(st *jobState, seed int64, hashes []string) {
 	st.jobObs.Emit("job_done", doneFields)
 	_ = st.sink.Close() // drains events, closes the broadcaster stream
 	man := st.jobObs.Manifest("cbmad")
+	// Event-loss ledger: the sink's own drops are in man.Events already;
+	// fold in the broadcaster's subscriber-lag drops and replay truncation,
+	// and mirror everything into the process registry so /v1/stats and
+	// /metrics carry daemon-wide loss totals.
+	man.Events.SubscribersDropped = st.bcast.SubscribersDropped()
+	man.Events.ReplayTruncated = st.bcast.Truncated()
+	s.o.Counter("obs.events.written").Add(man.Events.Written)
+	s.o.Counter("obs.events.dropped").Add(man.Events.Dropped)
+	s.o.Counter("obs.subscribers.dropped").Add(man.Events.SubscribersDropped)
+	s.o.Counter("obs.replay.truncated_bytes").Add(man.Events.ReplayTruncated)
 	man.Seed = seed
 	man.Interrupted = errors.Is(jerr, context.Canceled) || errors.Is(jerr, context.DeadlineExceeded)
 	man.Config = map[string]any{"what": st.what, "class": st.class, "points": hashes}
@@ -302,11 +319,12 @@ func (s *server) lookup(id string) *jobState {
 // info renders a job's current status.
 func (s *server) info(st *jobState) jobInfo {
 	inf := jobInfo{
-		ID:     st.job.ID(),
-		What:   st.what,
-		Class:  st.class,
-		Points: st.points,
-		Status: "pending",
+		ID:      st.job.ID(),
+		What:    st.what,
+		Class:   st.class,
+		Points:  st.points,
+		Status:  "pending",
+		TraceID: st.jobObs.TraceID(),
 	}
 	select {
 	case <-st.job.Done():

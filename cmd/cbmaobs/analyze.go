@@ -1,0 +1,398 @@
+package main
+
+// Event-stream analysis: fold a JSONL telemetry stream (an -obs events file
+// or a cbmad /events stream) into per-trace reports — campaign shape, stage
+// duration quantiles, slowest points, per-shard lifecycle, fault summary.
+// The analyzer is pure: it reads events, never the clock, and quantiles are
+// exact (computed over the raw per-event durations, not histogram buckets).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"cbma/internal/obs"
+)
+
+// report is the analyzer's output over one event stream.
+type report struct {
+	Events      int            `json:"events"`
+	Undecodable int            `json:"undecodable,omitempty"`
+	Traces      []*traceReport `json:"traces"`
+}
+
+// traceReport aggregates one trace's events. Events that carry no trace_id
+// (single-process runs predating a trace, or engine events emitted before
+// the coordinator tagged the stream) group under the empty ID.
+type traceReport struct {
+	ID     string           `json:"trace_id,omitempty"`
+	What   string           `json:"what,omitempty"`
+	FirstT int64            `json:"first_t_ns"`
+	LastT  int64            `json:"last_t_ns"`
+	Events int              `json:"events"`
+	Types  map[string]int64 `json:"types"`
+
+	TotalPoints int `json:"total_points,omitempty"`
+	Restored    int `json:"restored,omitempty"`
+	Committed   int `json:"committed"`
+	Failed      int `json:"failed,omitempty"`
+	Cached      int `json:"cached,omitempty"`
+
+	Rounds            int64 `json:"rounds,omitempty"`
+	RoundRetries      int64 `json:"round_retries,omitempty"`
+	RoundsQuarantined int64 `json:"rounds_quarantined,omitempty"`
+
+	Stages []stageReport    `json:"stages,omitempty"`
+	Points []pointRec       `json:"points,omitempty"`
+	Shards []*shardReport   `json:"shards,omitempty"`
+	Faults map[string]int64 `json:"faults,omitempty"`
+
+	// campaign-level point records, used only when no shard_point events
+	// exist (a non-sharded run).
+	flatPoints []pointRec
+	stages     map[string]*durAgg
+	shards     map[int]*shardReport
+}
+
+// stageReport is one duration population with exact quantiles.
+type stageReport struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P95Ns int64  `json:"p95_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	MaxNs int64  `json:"max_ns"`
+	SumNs int64  `json:"sum_ns"`
+}
+
+// pointRec is one executed campaign point.
+type pointRec struct {
+	Index   int   `json:"point"`
+	Ns      int64 `json:"ns,omitempty"`
+	Shard   int   `json:"shard,omitempty"`
+	Attempt int   `json:"attempt,omitempty"`
+	Failed  bool  `json:"failed,omitempty"`
+}
+
+// shardReport reconstructs one shard's lifecycle from its events.
+type shardReport struct {
+	Shard       int              `json:"shard"`
+	SpanID      string           `json:"span_id,omitempty"`
+	Dispatches  int              `json:"dispatches"`
+	Retries     int              `json:"retries,omitempty"`
+	Quarantined int              `json:"quarantined_points,omitempty"`
+	Committed   int              `json:"committed"`
+	Failed      int              `json:"failed,omitempty"`
+	Relayed     int              `json:"relayed_events,omitempty"`
+	Timeline    []lifecycleEntry `json:"timeline,omitempty"`
+}
+
+// lifecycleEntry is one step of a shard's dispatch→commit history.
+type lifecycleEntry struct {
+	T      int64  `json:"t_ns"`
+	Kind   string `json:"kind"` // dispatch | done | retry | quarantine
+	Detail string `json:"detail"`
+}
+
+// durAgg collects raw durations for exact quantiles.
+type durAgg struct{ vals []int64 }
+
+func (d *durAgg) add(ns int64) { d.vals = append(d.vals, ns) }
+
+// quantile returns the exact q-quantile of the collected values.
+func (d *durAgg) quantile(q float64) int64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(d.vals))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.vals) {
+		i = len(d.vals) - 1
+	}
+	return d.vals[i]
+}
+
+// asInt coerces a decoded JSON field into an int64 (JSON numbers arrive as
+// float64; in-process events may carry native integer types).
+func asInt(v any) (int64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return int64(n), true
+	case int:
+		return int64(n), true
+	case int64:
+		return n, true
+	case uint64:
+		return int64(n), true
+	case json.Number:
+		i, err := n.Int64()
+		return i, err == nil
+	}
+	return 0, false
+}
+
+func fInt(f map[string]any, key string) int64 {
+	n, _ := asInt(f[key])
+	return n
+}
+
+func fStr(f map[string]any, key string) string {
+	s, _ := f[key].(string)
+	return s
+}
+
+func fBool(f map[string]any, key string) bool {
+	b, _ := f[key].(bool)
+	return b
+}
+
+// metaFields are tags the coordinator/relay adds to every event; fault and
+// round accounting must not sum them as payload.
+var metaFields = map[string]bool{
+	"trace_id": true, "span_id": true, "shard": true, "attempt": true,
+	"worker_t_ns": true, "round": true, "what": true, "point": true,
+}
+
+// analyze folds a JSONL event stream into a report. Undecodable lines are
+// counted, never fatal — a live stream may end mid-line.
+func analyze(r io.Reader) (*report, error) {
+	rep := &report{}
+	byID := map[string]*traceReport{}
+	trace := func(id string) *traceReport {
+		tr, ok := byID[id]
+		if !ok {
+			tr = &traceReport{
+				ID:     id,
+				Types:  map[string]int64{},
+				Faults: map[string]int64{},
+				stages: map[string]*durAgg{},
+				shards: map[int]*shardReport{},
+				FirstT: -1,
+			}
+			byID[id] = tr
+			rep.Traces = append(rep.Traces, tr)
+		}
+		return tr
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			rep.Undecodable++
+			continue
+		}
+		rep.Events++
+		f := ev.Fields
+		if f == nil {
+			f = map[string]any{}
+		}
+		tr := trace(fStr(f, "trace_id"))
+		tr.Events++
+		tr.Types[ev.Type]++
+		if tr.FirstT < 0 || ev.T < tr.FirstT {
+			tr.FirstT = ev.T
+		}
+		if ev.T > tr.LastT {
+			tr.LastT = ev.T
+		}
+		tr.observe(ev.T, ev.Type, f)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	for _, tr := range rep.Traces {
+		tr.finalize()
+	}
+	return rep, nil
+}
+
+// shard returns the trace's shard report, creating it on first use.
+func (tr *traceReport) shard(s int) *shardReport {
+	sr, ok := tr.shards[s]
+	if !ok {
+		sr = &shardReport{Shard: s}
+		tr.shards[s] = sr
+	}
+	return sr
+}
+
+// stage returns the named duration population.
+func (tr *traceReport) stage(name string) *durAgg {
+	st, ok := tr.stages[name]
+	if !ok {
+		st = &durAgg{}
+		tr.stages[name] = st
+	}
+	return st
+}
+
+// observe folds one event into the trace.
+func (tr *traceReport) observe(t int64, typ string, f map[string]any) {
+	switch typ {
+	case "campaign_start":
+		if tr.What == "" {
+			tr.What = fStr(f, "what")
+		}
+		if n := int(fInt(f, "points")); n > tr.TotalPoints {
+			tr.TotalPoints = n
+		}
+	case "campaign_restored":
+		tr.Restored += int(fInt(f, "points"))
+	case "point_cached":
+		tr.Cached++
+	case "point":
+		ns := fInt(f, "ns")
+		if _, relayed := f["shard"]; relayed {
+			// Worker-relayed point event: its index is worker-local (always
+			// 0 in a single-point worker campaign), so it feeds the stage
+			// population only; shard_point carries the campaign index.
+			if ns > 0 {
+				tr.stage("worker.point").add(ns)
+			}
+			return
+		}
+		if ns > 0 {
+			tr.stage("campaign.point").add(ns)
+		}
+		tr.flatPoints = append(tr.flatPoints, pointRec{
+			Index: int(fInt(f, "point")), Ns: ns, Failed: fBool(f, "failed"),
+		})
+		if fBool(f, "failed") {
+			tr.Failed++
+		} else {
+			tr.Committed++
+		}
+	case "shard_point":
+		sh := int(fInt(f, "shard"))
+		sr := tr.shard(sh)
+		rec := pointRec{
+			Index: int(fInt(f, "point")), Ns: fInt(f, "ns"),
+			Shard: sh, Attempt: int(fInt(f, "attempt")), Failed: fBool(f, "failed"),
+		}
+		tr.Points = append(tr.Points, rec)
+		if rec.Ns > 0 {
+			tr.stage("shard.point").add(rec.Ns)
+		}
+		if rec.Failed {
+			sr.Failed++
+			tr.Failed++
+		} else {
+			sr.Committed++
+			tr.Committed++
+		}
+	case "shard_dispatch":
+		sr := tr.shard(int(fInt(f, "shard")))
+		sr.Dispatches++
+		if sr.SpanID == "" {
+			sr.SpanID = fStr(f, "span_id")
+		}
+		sr.Timeline = append(sr.Timeline, lifecycleEntry{T: t, Kind: "dispatch",
+			Detail: fmt.Sprintf("attempt %d, %d points", fInt(f, "attempt"), fInt(f, "points"))})
+	case "shard_attempt_done":
+		sr := tr.shard(int(fInt(f, "shard")))
+		ns := fInt(f, "ns")
+		if ns > 0 {
+			tr.stage("shard.attempt").add(ns)
+		}
+		detail := fmt.Sprintf("attempt %d: %d delivered in %s", fInt(f, "attempt"), fInt(f, "delivered"), fmtNs(ns))
+		if e := fStr(f, "error"); e != "" {
+			detail += " (" + e + ")"
+		}
+		sr.Timeline = append(sr.Timeline, lifecycleEntry{T: t, Kind: "done", Detail: detail})
+	case "shard_retry":
+		sr := tr.shard(int(fInt(f, "shard")))
+		sr.Retries++
+		tr.Faults["shard_retry"]++
+		sr.Timeline = append(sr.Timeline, lifecycleEntry{T: t, Kind: "retry",
+			Detail: fmt.Sprintf("%d pending: %s", fInt(f, "pending"), fStr(f, "error"))})
+	case "shard_quarantine":
+		sr := tr.shard(int(fInt(f, "shard")))
+		sr.Quarantined += int(fInt(f, "points"))
+		tr.Faults["shard_quarantine"]++
+		sr.Timeline = append(sr.Timeline, lifecycleEntry{T: t, Kind: "quarantine",
+			Detail: fmt.Sprintf("%d points after %d attempts: %s", fInt(f, "points"), fInt(f, "attempts"), fStr(f, "error"))})
+	case "round":
+		tr.Rounds++
+		tr.RoundRetries += fInt(f, "retries")
+		if fBool(f, "quarantined") {
+			tr.RoundsQuarantined++
+		}
+	case "faults_fired":
+		for k, v := range f {
+			if metaFields[k] {
+				continue
+			}
+			if n, ok := asInt(v); ok {
+				tr.Faults["fault."+k] += n
+			}
+		}
+	case "rx_fft_fallback":
+		tr.Faults["rx_fft_fallback"]++
+	}
+	if _, relayed := f["shard"]; relayed && fInt(f, "worker_t_ns") != 0 {
+		tr.shard(int(fInt(f, "shard"))).Relayed++
+	}
+}
+
+// finalize sorts the populations and renders the aggregate views.
+func (tr *traceReport) finalize() {
+	if len(tr.Points) == 0 {
+		tr.Points = tr.flatPoints
+	}
+	names := make([]string, 0, len(tr.stages))
+	for name := range tr.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		agg := tr.stages[name]
+		sort.Slice(agg.vals, func(i, j int) bool { return agg.vals[i] < agg.vals[j] })
+		var sum int64
+		for _, v := range agg.vals {
+			sum += v
+		}
+		tr.Stages = append(tr.Stages, stageReport{
+			Name:  name,
+			Count: len(agg.vals),
+			P50Ns: agg.quantile(0.50),
+			P95Ns: agg.quantile(0.95),
+			P99Ns: agg.quantile(0.99),
+			MaxNs: agg.vals[len(agg.vals)-1],
+			SumNs: sum,
+		})
+	}
+	shardIdx := make([]int, 0, len(tr.shards))
+	for s := range tr.shards {
+		shardIdx = append(shardIdx, s)
+	}
+	sort.Ints(shardIdx)
+	for _, s := range shardIdx {
+		sr := tr.shards[s]
+		sort.Slice(sr.Timeline, func(i, j int) bool { return sr.Timeline[i].T < sr.Timeline[j].T })
+		tr.Shards = append(tr.Shards, sr)
+	}
+}
+
+// slowest returns the n slowest timed points, descending.
+func (tr *traceReport) slowest(n int) []pointRec {
+	timed := make([]pointRec, 0, len(tr.Points))
+	for _, p := range tr.Points {
+		if p.Ns > 0 {
+			timed = append(timed, p)
+		}
+	}
+	sort.Slice(timed, func(i, j int) bool { return timed[i].Ns > timed[j].Ns })
+	if len(timed) > n {
+		timed = timed[:n]
+	}
+	return timed
+}

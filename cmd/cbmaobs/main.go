@@ -1,0 +1,380 @@
+// Command cbmaobs analyzes CBMA telemetry: it reads JSONL event streams
+// (files written by -obs runs, directories holding events.jsonl +
+// manifest.json, "-" for stdin, or a live cbmad /v1/jobs/<id>/events URL)
+// and renders, per trace, the campaign timeline, per-stage duration
+// quantiles, the slowest points, each shard's dispatch→commit lifecycle and
+// a fault summary. With -manifest it renders a run manifest instead.
+//
+// Usage:
+//
+//	cbmaobs run-out/events.jsonl         # analyze one event log
+//	cbmaobs run-out/                     # events.jsonl + manifest.json
+//	cbmaobs -url http://:8080/v1/jobs/j1/events
+//	cbmaobs -manifest run-out/manifest.json
+//	cbmaobs -json -top 5 events.jsonl    # machine-readable report
+//
+// Quantiles here are exact — computed from the raw per-event durations —
+// unlike the manifest's, which interpolate within log2 histogram buckets.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cbma/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cbmaobs:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entrypoint: parse flags, gather inputs, analyze,
+// render.
+func run(argv []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cbmaobs", flag.ContinueOnError)
+	var (
+		manifestPath = fs.String("manifest", "", "render this run manifest instead of analyzing events")
+		url          = fs.String("url", "", "stream events from this URL (e.g. a cbmad /v1/jobs/<id>/events endpoint)")
+		traceFilter  = fs.String("trace", "", "only report the trace with this ID (prefix match)")
+		top          = fs.Int("top", 10, "number of slowest points to list")
+		asJSON       = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *manifestPath != "" {
+		return renderManifestFile(stdout, *manifestPath)
+	}
+
+	readers, closers, err := openInputs(fs.Args(), *url, stdin)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range closers {
+			_ = c.Close()
+		}
+	}()
+
+	rep, err := analyze(io.MultiReader(readers...))
+	if err != nil {
+		return err
+	}
+	if *traceFilter != "" {
+		kept := rep.Traces[:0]
+		for _, tr := range rep.Traces {
+			if strings.HasPrefix(tr.ID, *traceFilter) {
+				kept = append(kept, tr)
+			}
+		}
+		rep.Traces = kept
+		if len(rep.Traces) == 0 {
+			return fmt.Errorf("no trace matching %q", *traceFilter)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	renderReport(stdout, rep, *top)
+
+	// A directory argument may also carry the run manifest; append its
+	// stage/breakdown view so one invocation tells the whole story.
+	for _, arg := range fs.Args() {
+		if st, err := os.Stat(arg); err == nil && st.IsDir() {
+			mp := filepath.Join(arg, "manifest.json")
+			if _, err := os.Stat(mp); err == nil {
+				fmt.Fprintln(stdout)
+				if err := renderManifestFile(stdout, mp); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// openInputs resolves the argument list into a reader per input. Arguments
+// are event files, directories containing events.jsonl, or "-" for stdin;
+// -url adds a streaming HTTP source. With no inputs at all, stdin is read.
+func openInputs(args []string, url string, stdin io.Reader) ([]io.Reader, []io.Closer, error) {
+	var (
+		readers []io.Reader
+		closers []io.Closer
+	)
+	fail := func(err error) ([]io.Reader, []io.Closer, error) {
+		for _, c := range closers {
+			_ = c.Close()
+		}
+		return nil, nil, err
+	}
+	for _, arg := range args {
+		if arg == "-" {
+			readers = append(readers, stdin)
+			continue
+		}
+		st, err := os.Stat(arg)
+		if err != nil {
+			return fail(err)
+		}
+		path := arg
+		if st.IsDir() {
+			path = filepath.Join(arg, "events.jsonl")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return fail(err)
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	if url != "" {
+		resp, err := http.Get(url)
+		if err != nil {
+			return fail(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			_ = resp.Body.Close()
+			return fail(fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body))))
+		}
+		readers = append(readers, resp.Body)
+		closers = append(closers, resp.Body)
+	}
+	if len(readers) == 0 {
+		readers = append(readers, stdin)
+	}
+	return readers, closers, nil
+}
+
+// fmtNs renders a nanosecond duration compactly for tables.
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// renderReport writes the human-readable per-trace analysis.
+func renderReport(w io.Writer, rep *report, top int) {
+	fmt.Fprintf(w, "cbmaobs: %d event(s), %d trace(s)", rep.Events, len(rep.Traces))
+	if rep.Undecodable > 0 {
+		fmt.Fprintf(w, ", %d undecodable line(s)", rep.Undecodable)
+	}
+	fmt.Fprintln(w)
+	for _, tr := range rep.Traces {
+		fmt.Fprintln(w)
+		renderTrace(w, tr, top)
+	}
+}
+
+// renderTrace writes one trace's sections: header, stages, slowest points,
+// shard lifecycle, faults.
+func renderTrace(w io.Writer, tr *traceReport, top int) {
+	id := tr.ID
+	if id == "" {
+		id = "(untraced)"
+	}
+	fmt.Fprintf(w, "trace %s", id)
+	if tr.What != "" {
+		fmt.Fprintf(w, "  %q", tr.What)
+	}
+	fmt.Fprintln(w)
+	span := tr.LastT - tr.FirstT
+	if tr.FirstT < 0 {
+		span = 0
+	}
+	fmt.Fprintf(w, "  span    %s  (%d events, %d types)\n", fmtNs(span), tr.Events, len(tr.Types))
+	fmt.Fprintf(w, "  points  %d committed", tr.Committed)
+	if tr.Failed > 0 {
+		fmt.Fprintf(w, ", %d failed", tr.Failed)
+	}
+	if tr.Cached > 0 {
+		fmt.Fprintf(w, ", %d cached", tr.Cached)
+	}
+	if tr.Restored > 0 {
+		fmt.Fprintf(w, ", %d restored from journal", tr.Restored)
+	}
+	if tr.TotalPoints > 0 {
+		fmt.Fprintf(w, " / %d total", tr.TotalPoints)
+	}
+	fmt.Fprintln(w)
+	if tr.Rounds > 0 {
+		fmt.Fprintf(w, "  rounds  %d", tr.Rounds)
+		if tr.RoundRetries > 0 {
+			fmt.Fprintf(w, ", %d retried", tr.RoundRetries)
+		}
+		if tr.RoundsQuarantined > 0 {
+			fmt.Fprintf(w, ", %d quarantined", tr.RoundsQuarantined)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(tr.Stages) > 0 {
+		fmt.Fprintln(w, "  stages")
+		fmt.Fprintf(w, "    %-18s %7s %10s %10s %10s %10s\n", "name", "count", "p50", "p95", "p99", "max")
+		for _, st := range tr.Stages {
+			fmt.Fprintf(w, "    %-18s %7d %10s %10s %10s %10s\n",
+				st.Name, st.Count, fmtNs(st.P50Ns), fmtNs(st.P95Ns), fmtNs(st.P99Ns), fmtNs(st.MaxNs))
+		}
+	}
+
+	if slow := tr.slowest(top); len(slow) > 0 {
+		fmt.Fprintf(w, "  slowest %d point(s)\n", len(slow))
+		for _, p := range slow {
+			fmt.Fprintf(w, "    point %-5d %10s", p.Index, fmtNs(p.Ns))
+			if p.Shard > 0 || len(tr.Shards) > 0 {
+				fmt.Fprintf(w, "  shard %d attempt %d", p.Shard, p.Attempt)
+			}
+			if p.Failed {
+				fmt.Fprint(w, "  FAILED")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	for _, sr := range tr.Shards {
+		fmt.Fprintf(w, "  shard %d: %d dispatch(es), %d committed", sr.Shard, sr.Dispatches, sr.Committed)
+		if sr.Failed > 0 {
+			fmt.Fprintf(w, ", %d failed", sr.Failed)
+		}
+		if sr.Retries > 0 {
+			fmt.Fprintf(w, ", %d retried", sr.Retries)
+		}
+		if sr.Quarantined > 0 {
+			fmt.Fprintf(w, ", %d quarantined point(s)", sr.Quarantined)
+		}
+		if sr.Relayed > 0 {
+			fmt.Fprintf(w, ", %d relayed event(s)", sr.Relayed)
+		}
+		fmt.Fprintln(w)
+		for _, le := range sr.Timeline {
+			off := le.T - tr.FirstT
+			if tr.FirstT < 0 {
+				off = 0
+			}
+			fmt.Fprintf(w, "    +%-10s %-10s %s\n", fmtNs(off), le.Kind, le.Detail)
+		}
+	}
+
+	if len(tr.Faults) > 0 {
+		keys := make([]string, 0, len(tr.Faults))
+		for k := range tr.Faults {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "  faults ")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, tr.Faults[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// renderManifestFile loads and renders one run manifest.
+func renderManifestFile(w io.Writer, path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var man obs.Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	renderManifest(w, &man)
+	return nil
+}
+
+// renderManifest writes the manifest's run header, stage table, event
+// ledger and — for sharded runs — the per-shard breakdown with the merged
+// worker-registry totals.
+func renderManifest(w io.Writer, man *obs.Manifest) {
+	fmt.Fprintf(w, "manifest: %s %s (%s %s/%s)\n", man.Tool, man.Version, man.GoVersion, man.OS, man.Arch)
+	fmt.Fprintf(w, "  wall    %s", fmtNs(man.WallNs))
+	if man.Workers > 0 {
+		fmt.Fprintf(w, ", %d workers", man.Workers)
+	}
+	if man.Shards > 0 {
+		fmt.Fprintf(w, ", %d shards", man.Shards)
+	}
+	if man.Resumed > 0 {
+		fmt.Fprintf(w, ", %d points resumed", man.Resumed)
+	}
+	if man.Interrupted {
+		fmt.Fprint(w, ", INTERRUPTED")
+	}
+	fmt.Fprintln(w)
+	if man.TraceID != "" {
+		fmt.Fprintf(w, "  trace   %s\n", man.TraceID)
+	}
+	fmt.Fprintf(w, "  events  %d written, %d dropped", man.Events.Written, man.Events.Dropped)
+	if man.Events.SubscribersDropped > 0 {
+		fmt.Fprintf(w, ", %d subscriber(s) dropped", man.Events.SubscribersDropped)
+	}
+	if man.Events.ReplayTruncated > 0 {
+		fmt.Fprintf(w, ", %dB replay truncated", man.Events.ReplayTruncated)
+	}
+	fmt.Fprintln(w)
+	if len(man.Stages) > 0 {
+		fmt.Fprintln(w, "  stages")
+		fmt.Fprintf(w, "    %-22s %8s %10s %10s %10s %10s %10s\n", "name", "count", "mean", "p50", "p95", "p99", "max")
+		for _, st := range man.Stages {
+			fmt.Fprintf(w, "    %-22s %8d %10s %10s %10s %10s %10s\n",
+				st.Name, st.Count, fmtNs(st.MeanNs), fmtNs(st.P50Ns), fmtNs(st.P95Ns), fmtNs(st.P99Ns), fmtNs(st.MaxNs))
+		}
+	}
+	if len(man.ShardBreakdown) > 0 {
+		var total int64
+		fmt.Fprintln(w, "  shard breakdown")
+		fmt.Fprintf(w, "    %-6s %8s %8s %9s %8s %12s\n", "shard", "points", "failed", "attempts", "beats", "worker p95")
+		for _, row := range man.ShardBreakdown {
+			total += row.Points
+			fmt.Fprintf(w, "    %-6d %8d %8d %9d %8d %12s\n",
+				row.Shard, row.Points, row.Failed, row.Attempts, row.Beats,
+				fmtNs(histQuantile(row.Registry, "shard.point_ns", 0.95)))
+		}
+		fmt.Fprintf(w, "    total  %8d\n", total)
+	}
+	if man.WorkerRegistry != nil {
+		fmt.Fprintln(w, "  worker registry (merged)")
+		for _, c := range man.WorkerRegistry.Counters {
+			fmt.Fprintf(w, "    %-28s %d\n", c.Name, c.Value)
+		}
+		for _, h := range man.WorkerRegistry.Histograms {
+			fmt.Fprintf(w, "    %-28s n=%d p50=%s p95=%s max=%s\n",
+				h.Name, h.Count, fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.95)), fmtNs(h.Max))
+		}
+	}
+}
+
+// histQuantile finds the named histogram in a snapshot and returns its
+// interpolated quantile, or 0 when absent.
+func histQuantile(s obs.Snapshot, name string, q float64) int64 {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h.Quantile(q)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cbma/internal/obs"
+)
+
+// fixture is a condensed sharded-run event log: campaign start, a restore,
+// two shards (one clean, one retried then quarantined), relayed worker
+// events, engine rounds and a fault burst. Timestamps are small integers so
+// offsets are easy to assert.
+const fixture = `{"t_ns":100,"type":"campaign_start","fields":{"trace_id":"aabbccdd00112233","what":"sweep","points":6}}
+{"t_ns":110,"type":"campaign_restored","fields":{"trace_id":"aabbccdd00112233","what":"sweep","points":2}}
+{"t_ns":200,"type":"shard_dispatch","fields":{"trace_id":"aabbccdd00112233","shard":0,"attempt":0,"points":2,"span_id":"s0"}}
+{"t_ns":210,"type":"shard_dispatch","fields":{"trace_id":"aabbccdd00112233","shard":1,"attempt":0,"points":2,"span_id":"s1"}}
+{"t_ns":300,"type":"round","fields":{"trace_id":"aabbccdd00112233","shard":0,"attempt":0,"worker_t_ns":55,"round":1,"sent":4,"delivered":4,"acked":4}}
+{"t_ns":310,"type":"round","fields":{"trace_id":"aabbccdd00112233","shard":0,"attempt":0,"worker_t_ns":56,"round":2,"sent":4,"delivered":3,"acked":3,"retries":1}}
+{"t_ns":320,"type":"faults_fired","fields":{"trace_id":"aabbccdd00112233","shard":0,"attempt":0,"worker_t_ns":57,"round":2,"ack_loss":3,"outage":1}}
+{"t_ns":400,"type":"shard_point","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":0,"attempt":0,"point":2,"span_id":"p2","ns":1000000}}
+{"t_ns":410,"type":"shard_point","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":0,"attempt":0,"point":3,"span_id":"p3","ns":3000000}}
+{"t_ns":420,"type":"shard_attempt_done","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":0,"attempt":0,"span_id":"s0","delivered":2,"pending":0,"ns":220}}
+{"t_ns":430,"type":"shard_retry","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":1,"attempt":1,"pending":2,"span_id":"s1","error":"worker exited: signal: killed"}}
+{"t_ns":440,"type":"shard_dispatch","fields":{"trace_id":"aabbccdd00112233","shard":1,"attempt":1,"points":2,"span_id":"s1"}}
+{"t_ns":450,"type":"shard_point","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":1,"attempt":1,"point":4,"span_id":"p4","ns":2000000}}
+{"t_ns":460,"type":"shard_quarantine","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":1,"points":1,"attempts":2,"span_id":"s1","error":"worker exited: boom"}}
+{"t_ns":470,"type":"shard_point","fields":{"trace_id":"aabbccdd00112233","what":"sweep","shard":1,"attempt":1,"point":5,"span_id":"p5","failed":true}}
+{"t_ns":500,"type":"point_cached","fields":{"trace_id":"aabbccdd00112233","point":0,"hash":"h0"}}
+{"t_ns":600,"type":"campaign_start","fields":{"what":"local run","points":1}}
+{"t_ns":700,"type":"point","fields":{"what":"local run","point":0,"ns":500000}}
+not json at all
+`
+
+func mustAnalyze(t *testing.T, in string) *report {
+	t.Helper()
+	rep, err := analyze(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+func TestAnalyzeGroupsByTrace(t *testing.T) {
+	rep := mustAnalyze(t, fixture)
+	if rep.Events != 18 {
+		t.Fatalf("events = %d, want 18", rep.Events)
+	}
+	if rep.Undecodable != 1 {
+		t.Fatalf("undecodable = %d, want 1", rep.Undecodable)
+	}
+	if len(rep.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(rep.Traces))
+	}
+	tr := rep.Traces[0]
+	if tr.ID != "aabbccdd00112233" || tr.What != "sweep" {
+		t.Fatalf("trace 0 = %q %q", tr.ID, tr.What)
+	}
+	if tr.TotalPoints != 6 || tr.Restored != 2 || tr.Cached != 1 {
+		t.Fatalf("total/restored/cached = %d/%d/%d", tr.TotalPoints, tr.Restored, tr.Cached)
+	}
+	if tr.Committed != 3 || tr.Failed != 1 {
+		t.Fatalf("committed/failed = %d/%d, want 3/1", tr.Committed, tr.Failed)
+	}
+	if tr.FirstT != 100 || tr.LastT != 500 {
+		t.Fatalf("span = [%d,%d]", tr.FirstT, tr.LastT)
+	}
+	// The untraced local run groups separately.
+	loc := rep.Traces[1]
+	if loc.ID != "" || loc.Committed != 1 {
+		t.Fatalf("untraced trace = %q committed=%d", loc.ID, loc.Committed)
+	}
+	if len(loc.Points) != 1 || loc.Points[0].Ns != 500000 {
+		t.Fatalf("untraced points = %+v", loc.Points)
+	}
+}
+
+func TestAnalyzeShardLifecycle(t *testing.T) {
+	tr := mustAnalyze(t, fixture).Traces[0]
+	if len(tr.Shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(tr.Shards))
+	}
+	s0, s1 := tr.Shards[0], tr.Shards[1]
+	if s0.Shard != 0 || s0.Dispatches != 1 || s0.Committed != 2 || s0.Retries != 0 {
+		t.Fatalf("shard 0 = %+v", s0)
+	}
+	if s0.Relayed != 3 {
+		t.Fatalf("shard 0 relayed = %d, want 3", s0.Relayed)
+	}
+	if s1.Shard != 1 || s1.Dispatches != 2 || s1.Retries != 1 || s1.Quarantined != 1 {
+		t.Fatalf("shard 1 = %+v", s1)
+	}
+	if s1.Committed != 1 || s1.Failed != 1 {
+		t.Fatalf("shard 1 committed/failed = %d/%d", s1.Committed, s1.Failed)
+	}
+	// Timeline is time-ordered: dispatch, retry, dispatch, quarantine.
+	kinds := make([]string, len(s1.Timeline))
+	for i, le := range s1.Timeline {
+		kinds[i] = le.Kind
+	}
+	want := []string{"dispatch", "retry", "dispatch", "quarantine"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("shard 1 timeline = %v, want %v", kinds, want)
+	}
+}
+
+func TestAnalyzeStagesAndSlowest(t *testing.T) {
+	tr := mustAnalyze(t, fixture).Traces[0]
+	var sp *stageReport
+	for i := range tr.Stages {
+		if tr.Stages[i].Name == "shard.point" {
+			sp = &tr.Stages[i]
+		}
+	}
+	if sp == nil {
+		t.Fatalf("no shard.point stage in %+v", tr.Stages)
+	}
+	if sp.Count != 3 || sp.P50Ns != 2000000 || sp.MaxNs != 3000000 || sp.SumNs != 6000000 {
+		t.Fatalf("shard.point stage = %+v", *sp)
+	}
+	slow := tr.slowest(2)
+	if len(slow) != 2 || slow[0].Index != 3 || slow[1].Index != 4 {
+		t.Fatalf("slowest = %+v", slow)
+	}
+	// The failed point carries no ns and must not appear among the slowest.
+	for _, p := range tr.slowest(10) {
+		if p.Ns == 0 {
+			t.Fatalf("untimed point in slowest: %+v", p)
+		}
+	}
+}
+
+func TestAnalyzeFaults(t *testing.T) {
+	tr := mustAnalyze(t, fixture).Traces[0]
+	want := map[string]int64{
+		"shard_retry":      1,
+		"shard_quarantine": 1,
+		"fault.ack_loss":   3,
+		"fault.outage":     1,
+	}
+	for k, v := range want {
+		if tr.Faults[k] != v {
+			t.Errorf("faults[%q] = %d, want %d", k, tr.Faults[k], v)
+		}
+	}
+	if tr.Rounds != 2 || tr.RoundRetries != 1 {
+		t.Fatalf("rounds/retries = %d/%d", tr.Rounds, tr.RoundRetries)
+	}
+}
+
+func TestExactQuantiles(t *testing.T) {
+	agg := &durAgg{}
+	for i := int64(1); i <= 100; i++ {
+		agg.add(i)
+	}
+	// Already sorted ascending; quantile() assumes finalize() sorted it.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {0, 1}, {1, 100}} {
+		if got := agg.quantile(tc.q); got != tc.want {
+			t.Errorf("quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestRunTextAndJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-top", "2", "-"}, strings.NewReader(fixture), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trace aabbccdd00112233",
+		`"sweep"`,
+		"shard 1: 2 dispatch(es)",
+		"quarantine",
+		"slowest 2 point(s)",
+		"fault.ack_loss=3",
+		"1 undecodable line(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-json", "-trace", "aabb", "-"}, strings.NewReader(fixture), &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(rep.Traces) != 1 || rep.Traces[0].ID != "aabbccdd00112233" {
+		t.Fatalf("-trace filter kept %d traces", len(rep.Traces))
+	}
+
+	if err := run([]string{"-trace", "nope", "-"}, strings.NewReader(fixture), io.Discard); err == nil {
+		t.Fatal("expected error for unmatched -trace filter")
+	}
+}
+
+func TestRunReadsDirWithManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "events.jsonl"), []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man := obs.Manifest{
+		Tool: "cbmasim", Version: "test", GoVersion: "go", OS: "linux", Arch: "amd64",
+		WallNs: 123456789, Shards: 2, Resumed: 2, TraceID: "aabbccdd00112233",
+		Events: obs.EventStats{Written: 18},
+		Stages: []obs.StageTime{{Name: "shard.point_ns", Count: 3, TotalNs: 6000000, MeanNs: 2000000, P50Ns: 2000000, P95Ns: 3000000, P99Ns: 3000000, MaxNs: 3000000}},
+		ShardBreakdown: []obs.ShardTelemetry{
+			{Shard: 0, Points: 2, Attempts: 1},
+			{Shard: 1, Points: 2, Failed: 1, Attempts: 2},
+		},
+	}
+	b, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{dir}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run(dir): %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"trace aabbccdd00112233",
+		"manifest: cbmasim test",
+		"2 shards",
+		"2 points resumed",
+		"shard breakdown",
+		"total         4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dir output missing %q:\n%s", want, text)
+		}
+	}
+
+	var mout bytes.Buffer
+	if err := run([]string{"-manifest", filepath.Join(dir, "manifest.json")}, strings.NewReader(""), &mout); err != nil {
+		t.Fatalf("run(-manifest): %v", err)
+	}
+	if !strings.Contains(mout.String(), "shard breakdown") {
+		t.Fatalf("-manifest output missing breakdown:\n%s", mout.String())
+	}
+}

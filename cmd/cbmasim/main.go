@@ -240,13 +240,21 @@ func run(ctx context.Context, args []string) error {
 			Progress: obs.NewProgress(os.Stderr, obs.SystemClock()),
 		})
 		scn.Obs = o
+	} else if shardN > 0 {
+		// Sharded runs always get a coordinator-driven progress line (with
+		// journal-restored points pre-counted, so a resume shows a correct
+		// ETA) even without -obs; there is just no event sink or manifest.
+		o = obs.New(obs.Config{
+			Clock:    obs.SystemClock(),
+			Progress: obs.NewProgress(os.Stderr, obs.SystemClock()),
+		})
 	}
 	if *pprofAddr != "" {
 		bound, err := obs.ServeDebug(*pprofAddr, o.Registry())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "cbmasim: debug endpoint at http://%s/debug/pprof/ (registry at /debug/vars)\n", bound)
+		fmt.Fprintf(os.Stderr, "cbmasim: debug endpoint at http://%s/debug/pprof/ (registry at /debug/vars, Prometheus at /metrics)\n", bound)
 	}
 	var coord *shard.Coordinator
 	if shardN > 0 {

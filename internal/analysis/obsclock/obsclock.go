@@ -23,12 +23,17 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-// scope is nodeterm's determinism scope plus cbma/internal/obs: the
-// telemetry layer may *hold* a clock but must receive it injected, so even
-// there a raw time.Now capture is a finding. cmd/* binaries stay exempt —
-// they are where the injection happens. Packages outside the cbma module
-// (the analyzer's own test fixtures) are always in scope.
+// scope is nodeterm's determinism scope plus the telemetry-bearing layers:
+// cbma/internal/obs may *hold* a clock but must receive it injected, so
+// even there a raw time.Now capture is a finding; the shard coordinator and
+// the cbmaobs analyzer time distributed work exclusively through injected
+// clocks (or, for cbmaobs, not at all — it reads event timestamps). cmd/*
+// binaries other than cbmaobs stay exempt — they are where the injection
+// happens. Packages outside the cbma module (the analyzer's own test
+// fixtures) are always in scope.
 var scope = []string{
+	"cbma/internal/serve/shard",
+	"cbma/cmd/cbmaobs",
 	"cbma/internal/sim",
 	"cbma/internal/fault",
 	"cbma/internal/rx",

@@ -127,6 +127,45 @@ func (s HistogramSnapshot) Mean() int64 {
 	return s.Sum / s.Count
 }
 
+// Quantile estimates the q-quantile (0..1) of the observed values by
+// linear interpolation within the log2 bucket containing the target rank,
+// clamped to the observed min/max — so p50/p95/p99 are exact to within one
+// bucket's width (a factor of 2) and exact at the extremes. Returns 0 with
+// no observations.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for _, b := range s.Buckets {
+		prev := seen
+		seen += float64(b.Count)
+		if seen < rank {
+			continue
+		}
+		lo, hi := b.Low, bucketHigh(b.Low)
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if hi <= lo {
+			return lo
+		}
+		frac := (rank - prev) / float64(b.Count)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return s.Max
+}
+
 // merge combines two snapshots of the same histogram name.
 func (s HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
 	if s.Count == 0 {

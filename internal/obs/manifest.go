@@ -17,13 +17,20 @@ type StageTime struct {
 	Count   int64  `json:"count"`
 	TotalNs int64  `json:"total_ns"`
 	MeanNs  int64  `json:"mean_ns"`
+	P50Ns   int64  `json:"p50_ns,omitempty"`
+	P95Ns   int64  `json:"p95_ns,omitempty"`
+	P99Ns   int64  `json:"p99_ns,omitempty"`
 	MaxNs   int64  `json:"max_ns"`
 }
 
-// EventStats summarizes sink throughput for the manifest.
+// EventStats is the manifest's event-loss ledger: sink throughput plus, for
+// daemon jobs streaming through a Broadcaster, subscribers dropped for
+// lagging and replay-history bytes lost to the retention limit.
 type EventStats struct {
-	Written int64 `json:"written"`
-	Dropped int64 `json:"dropped"`
+	Written            int64 `json:"written"`
+	Dropped            int64 `json:"dropped"`
+	SubscribersDropped int64 `json:"subscribers_dropped,omitempty"`
+	ReplayTruncated    int64 `json:"replay_truncated_bytes,omitempty"`
 }
 
 // Manifest is the machine-readable record written next to a run's results so
@@ -42,6 +49,7 @@ type Manifest struct {
 	Workers      int         `json:"workers,omitempty"`
 	Shards       int         `json:"shards,omitempty"`
 	Resumed      int         `json:"resumed,omitempty"` // points restored from a journal, not re-executed
+	TraceID      string      `json:"trace_id,omitempty"`
 	ScenarioHash string      `json:"scenario_hash,omitempty"`
 	Config       any         `json:"config,omitempty"`
 	Interrupted  bool        `json:"interrupted,omitempty"`
@@ -49,6 +57,11 @@ type Manifest struct {
 	Result       any         `json:"result,omitempty"`
 	Events       EventStats  `json:"events"`
 	Registry     Snapshot    `json:"registry"`
+	// Sharded runs: per-shard telemetry rows (point counts sum to this
+	// run's shard.points.committed counter) and the merged worker-side
+	// registry totals.
+	ShardBreakdown []ShardTelemetry `json:"shard_breakdown,omitempty"`
+	WorkerRegistry *Snapshot        `json:"worker_registry,omitempty"`
 }
 
 // Manifest assembles the environment, timing and registry portions of a run
@@ -65,11 +78,17 @@ func (o *Observer) Manifest(tool string) Manifest {
 	if o != nil {
 		m.StartedAt = o.start
 		m.WallNs = int64(o.clock().Sub(o.start))
+		m.TraceID = o.TraceID()
 		snap := o.reg.Snapshot()
 		m.Registry = snap
 		m.Stages = stageBreakdown(snap)
 		if o.sink != nil {
 			m.Events = EventStats{Written: o.sink.Written(), Dropped: o.sink.Dropped()}
+		}
+		if ss := o.shardStats(); ss != nil {
+			m.ShardBreakdown = ss.Breakdown()
+			merged := ss.Merged()
+			m.WorkerRegistry = &merged
 		}
 	}
 	return m
@@ -89,6 +108,9 @@ func stageBreakdown(s Snapshot) []StageTime {
 			Count:   h.Count,
 			TotalNs: h.Sum,
 			MeanNs:  h.Mean(),
+			P50Ns:   h.Quantile(0.50),
+			P95Ns:   h.Quantile(0.95),
+			P99Ns:   h.Quantile(0.99),
 			MaxNs:   h.Max,
 		})
 	}

@@ -16,7 +16,11 @@
 // carries no "is telemetry on" branches of its own.
 package obs
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Config parameterizes New.
 type Config struct {
@@ -41,6 +45,11 @@ type Observer struct {
 	reg   *Registry
 	sink  *Sink
 	prog  *Progress
+
+	trace atomic.Value // string; campaign trace ID (see trace.go)
+
+	mu     sync.Mutex
+	shards *ShardStats // per-shard telemetry, created on first use (see shardstats.go)
 }
 
 // New builds an observer with a fresh registry.
@@ -133,12 +142,16 @@ func (o *Observer) Start(h *Histogram) Span {
 	return Span{clock: o.clock, h: h, start: o.clock()}
 }
 
-// End closes the span, observing the elapsed nanoseconds.
-func (s Span) End() {
+// End closes the span, observing and returning the elapsed nanoseconds
+// (zero for an inert span) — the return value lets emitters attach the
+// duration to an event without a second clock read.
+func (s Span) End() int64 {
 	if s.h == nil {
-		return
+		return 0
 	}
-	s.h.Observe(int64(s.clock().Sub(s.start)))
+	ns := int64(s.clock().Sub(s.start))
+	s.h.Observe(ns)
+	return ns
 }
 
 // EmitsEvents reports whether Emit will actually deliver — callers use it to
@@ -148,10 +161,21 @@ func (o *Observer) EmitsEvents() bool {
 }
 
 // Emit timestamps an event against the run epoch and hands it to the sink.
-// No-op without a sink; never blocks (see Sink.Emit).
+// When the observer carries a trace ID the event is tagged with a
+// "trace_id" field (callers pass fresh field maps, so adding the tag never
+// aliases shared state). No-op without a sink; never blocks (see
+// Sink.Emit).
 func (o *Observer) Emit(typ string, fields map[string]any) {
 	if o == nil || o.sink == nil {
 		return
+	}
+	if id := o.TraceID(); id != "" {
+		if fields == nil {
+			fields = make(map[string]any, 1)
+		}
+		if _, ok := fields["trace_id"]; !ok {
+			fields["trace_id"] = id
+		}
 	}
 	o.sink.Emit(Event{T: int64(o.clock().Sub(o.start)), Type: typ, Fields: fields})
 }
@@ -168,6 +192,23 @@ func (o *Observer) CampaignStart(what string, total int) {
 	}
 	if o.prog != nil {
 		o.prog.Start(what, total)
+	}
+}
+
+// CampaignRestored accounts n points that were resolved before execution
+// began — journal restores and pre-failed points. They advance the
+// progress line as already-done but are excluded from the per-point pace
+// the ETA extrapolates from (see Progress.Prime), and a campaign_restored
+// event records them in the stream.
+func (o *Observer) CampaignRestored(what string, n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	if o.EmitsEvents() {
+		o.Emit("campaign_restored", map[string]any{"what": what, "points": n})
+	}
+	if o.prog != nil {
+		o.prog.Prime(n)
 	}
 }
 

@@ -19,6 +19,7 @@ type Progress struct {
 	label  string
 	total  int
 	done   int
+	base   int // points primed as already-done; excluded from the ETA pace
 	start  time.Time
 	active bool
 }
@@ -46,8 +47,31 @@ func (p *Progress) Start(label string, total int) {
 	p.label = label
 	p.total = total
 	p.done = 0
+	p.base = 0
 	p.start = now
 	p.active = true
+	line := p.line(now)
+	p.mu.Unlock()
+	fmt.Fprint(p.w, line)
+}
+
+// Prime marks n points complete before timed execution begins — journal
+// restores on a resumed campaign. They advance the count and percentage
+// but are excluded from the per-point pace the ETA extrapolates from, so a
+// resume that restores 90% of its points doesn't project a wildly
+// optimistic finish for the rest.
+func (p *Progress) Prime(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	now := p.clock()
+	p.mu.Lock()
+	if !p.active {
+		p.mu.Unlock()
+		return
+	}
+	p.done += n
+	p.base += n
 	line := p.line(now)
 	p.mu.Unlock()
 	fmt.Fprint(p.w, line)
@@ -98,8 +122,8 @@ func (p *Progress) line(now time.Time) string {
 	line := fmt.Sprintf("\r%s: %d/%d points (%3.0f%%)", p.label, p.done, p.total, pct)
 	if elapsed > 0 {
 		line += fmt.Sprintf(" elapsed %s", roundDuration(elapsed))
-		if p.done > 0 && p.done < p.total {
-			eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		if timed := p.done - p.base; timed > 0 && p.done < p.total {
+			eta := time.Duration(float64(elapsed) / float64(timed) * float64(p.total-p.done))
 			line += fmt.Sprintf(" eta %s", roundDuration(eta))
 		}
 	}

@@ -1,0 +1,86 @@
+package obs
+
+// Prometheus text-format exposition (version 0.0.4) for registry snapshots,
+// written by hand against the format spec — the repo stays zero-dependency.
+// Counters and gauges map directly; the log2 histograms map onto Prometheus
+// cumulative buckets exactly: bucket i covers the integer range
+// [2^(i-1), 2^i-1], so its upper bound is representable as the precise
+// integer `le` label 2^i-1 (no float rounding, since every observation is
+// an integer nanosecond count).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// MetricName maps a registry instrument name into the Prometheus namespace:
+// a "cbma_" prefix is applied and every rune outside [a-zA-Z0-9_] becomes
+// an underscore, so "shard.points.committed" serves as
+// "cbma_shard_points_committed".
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("cbma_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// bucketHigh returns the inclusive upper bound of the log2 bucket whose
+// lower bound is low (0 for the non-positive bucket).
+func bucketHigh(low int64) int64 {
+	if low <= 0 {
+		return 0
+	}
+	return 2*low - 1
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Histogram buckets are cumulative with exact integer `le` bounds,
+// followed by the +Inf bucket, _sum and _count series.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, c := range s.Counters {
+		n := MetricName(c.Name)
+		pf("# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := MetricName(g.Name)
+		pf("# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range s.Histograms {
+		n := MetricName(h.Name)
+		pf("# TYPE %s histogram\n", n)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			pf("%s_bucket{le=\"%d\"} %d\n", n, bucketHigh(b.Low), cum)
+		}
+		pf("%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		pf("%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	return err
+}
+
+// PrometheusHandler serves snap() in the Prometheus text format — the
+// /metrics endpoint for cbmad and the -pprof debug mux. The snapshot is
+// taken per scrape, so the endpoint always reflects live registry state.
+func PrometheusHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snap())
+	})
+}

@@ -20,6 +20,7 @@ type Broadcaster struct {
 	mu        sync.Mutex
 	history   []byte
 	truncated int64
+	subDrops  int64
 	subs      map[chan []byte]struct{}
 	closed    bool
 	limit     int
@@ -71,6 +72,7 @@ func (b *Broadcaster) Write(p []byte) (int, error) {
 				// Slow consumer: cut it loose instead of blocking the sink.
 				delete(b.subs, ch)
 				close(ch)
+				b.subDrops++
 			}
 		}
 	}
@@ -118,6 +120,14 @@ func (b *Broadcaster) Close() error {
 	}
 	b.subs = nil
 	return nil
+}
+
+// SubscribersDropped reports how many subscribers were cut loose for
+// falling behind — the event-loss ledger the daemon surfaces per job.
+func (b *Broadcaster) SubscribersDropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.subDrops
 }
 
 // Truncated reports bytes dropped from replay history by the limit.

@@ -62,6 +62,14 @@ func DebugHandler(r *Registry) http.Handler {
 			debugMu.Unlock()
 			return reg.Snapshot()
 		}))
+		// Prometheus exposition rides the same indirection so -pprof serves
+		// /metrics without a second registration path.
+		http.Handle("/metrics", PrometheusHandler(func() Snapshot {
+			debugMu.Lock()
+			reg := debugReg
+			debugMu.Unlock()
+			return reg.Snapshot()
+		}))
 	})
 	return http.DefaultServeMux
 }

@@ -1,0 +1,159 @@
+package obs
+
+// Per-shard telemetry accumulation for distributed campaigns. The shard
+// coordinator records attempts, liveness beats and point commits per shard
+// and merges each worker's registry snapshot (shipped over the wire with
+// the attempt's done marker) into its row; Manifest folds the collector
+// into the run manifest as a per-shard breakdown plus merged worker
+// totals. Everything here is observational — the collector is fed from the
+// telemetry path only, so a run's Metrics are bit-identical with or
+// without it (the shard equivalence tests prove this).
+
+import (
+	"sort"
+	"sync"
+)
+
+// ShardTelemetry is one shard's row in a sharded run's manifest breakdown.
+// Points/Failed count results committed during this run (journal-restored
+// points belong to the run that executed them), so summing Points across
+// the breakdown always equals the run's shard.points.committed counter.
+type ShardTelemetry struct {
+	Shard    int      `json:"shard"`
+	Points   int64    `json:"points"`
+	Failed   int64    `json:"failed,omitempty"`
+	Attempts int64    `json:"attempts"`
+	Beats    int64    `json:"beats,omitempty"`
+	Registry Snapshot `json:"registry"`
+}
+
+// ShardStats accumulates per-shard telemetry for one sharded campaign. All
+// methods are concurrency-safe and nil-receiver-safe.
+type ShardStats struct {
+	mu   sync.Mutex
+	rows map[int]*ShardTelemetry
+}
+
+// row returns the shard's row, creating it on first use; callers hold s.mu.
+func (s *ShardStats) row(shard int) *ShardTelemetry {
+	if s.rows == nil {
+		s.rows = make(map[int]*ShardTelemetry)
+	}
+	r, ok := s.rows[shard]
+	if !ok {
+		r = &ShardTelemetry{Shard: shard}
+		s.rows[shard] = r
+	}
+	return r
+}
+
+// AddAttempt records one dispatch attempt for the shard.
+func (s *ShardStats) AddAttempt(shard int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.row(shard).Attempts++
+	s.mu.Unlock()
+}
+
+// AddBeat records one liveness signal (heartbeat, relayed event, or
+// delivered result) observed from the shard.
+func (s *ShardStats) AddBeat(shard int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.row(shard).Beats++
+	s.mu.Unlock()
+}
+
+// AddPoint records one point committed by the shard; failed marks a point
+// that resolved as a failure.
+func (s *ShardStats) AddPoint(shard int, failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	r := s.row(shard)
+	r.Points++
+	if failed {
+		r.Failed++
+	}
+	s.mu.Unlock()
+}
+
+// MergeRegistry folds a worker registry snapshot into the shard's row. A
+// reassigned shard merges every attempt's snapshot (counts add, gauges
+// take the max — the same semantics as Snapshot.Merge everywhere else).
+func (s *ShardStats) MergeRegistry(shard int, snap Snapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	r := s.row(shard)
+	r.Registry = r.Registry.Merge(snap)
+	s.mu.Unlock()
+}
+
+// Breakdown returns the per-shard rows sorted by shard index.
+func (s *ShardStats) Breakdown() []ShardTelemetry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardTelemetry, 0, len(s.rows))
+	for _, r := range s.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+// Merged folds every shard's worker registry into one snapshot — the
+// campaign-wide worker-side totals.
+func (s *ShardStats) Merged() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out Snapshot
+	shards := make([]int, 0, len(s.rows))
+	for shard := range s.rows {
+		shards = append(shards, shard)
+	}
+	sort.Ints(shards)
+	for _, shard := range shards {
+		out = out.Merge(s.rows[shard].Registry)
+	}
+	return out
+}
+
+// Shards returns the observer's per-shard telemetry collector, creating it
+// on first use. The shard coordinator feeds it; Manifest folds it into the
+// run manifest. Nil for a nil observer (and the collector's methods are
+// nil-safe, so callers never branch).
+func (o *Observer) Shards() *ShardStats {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.shards == nil {
+		o.shards = &ShardStats{}
+	}
+	return o.shards
+}
+
+// shardStats returns the collector without creating it; nil when the run
+// never recorded shard telemetry.
+func (o *Observer) shardStats() *ShardStats {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.shards
+}

@@ -26,6 +26,7 @@ type Event struct {
 // interrupt handler closes the sink before writing the manifest.
 type Sink struct {
 	w       io.Writer
+	relay   func(Event) // when set, events go to relay instead of the encoder
 	events  chan Event
 	done    chan struct{}
 	written atomic.Int64
@@ -54,7 +55,34 @@ func NewSink(w io.Writer, capacity int) *Sink {
 	return s
 }
 
+// NewRelaySink starts a sink that hands each event to fn (from the sink's
+// single writer goroutine) instead of encoding JSONL — the in-process
+// bridge the shard transports use to forward worker telemetry onto the
+// wire. The Emit/Close semantics match NewSink exactly: Emit never blocks
+// (full ring drops and counts) and Close drains everything buffered before
+// returning, after which fn is never called again.
+func NewRelaySink(fn func(Event), capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultSinkBuffer
+	}
+	s := &Sink{
+		relay:  fn,
+		events: make(chan Event, capacity),
+		done:   make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
 func (s *Sink) run() {
+	if s.relay != nil {
+		for ev := range s.events {
+			s.relay(ev)
+			s.written.Add(1)
+		}
+		close(s.done)
+		return
+	}
 	bw := bufio.NewWriter(s.w)
 	enc := json.NewEncoder(bw)
 	var err error

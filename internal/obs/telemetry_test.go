@@ -1,0 +1,305 @@
+package obs
+
+// Tests for the distributed-telemetry layer: trace/span identity, exposition
+// in the Prometheus text format, interpolated histogram quantiles, resumed-
+// campaign progress priming, and the randomized-partition merge property the
+// shard-merged registry depends on.
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	clock := StepClock(time.Unix(1000, 0), time.Nanosecond)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID(clock)
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		for _, r := range id {
+			if !strings.ContainsRune("0123456789abcdef", r) {
+				t.Fatalf("trace ID %q is not lowercase hex", id)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	// Even a frozen (nil) clock yields distinct IDs: the process-wide
+	// sequence number alone differentiates them.
+	if NewTraceID(nil) == NewTraceID(nil) {
+		t.Fatal("nil-clock trace IDs collide")
+	}
+}
+
+func TestSpanIDDeterministic(t *testing.T) {
+	a := SpanID("trace1", "shard", "3")
+	if b := SpanID("trace1", "shard", "3"); a != b {
+		t.Fatalf("SpanID not deterministic: %q vs %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("span ID %q has length %d, want 16", a, len(a))
+	}
+	if a == SpanID("trace1", "shard", "4") || a == SpanID("trace2", "shard", "3") {
+		t.Fatal("distinct inputs produced colliding span IDs")
+	}
+	// The NUL separator keeps part boundaries unambiguous.
+	if SpanID("ab", "c") == SpanID("a", "bc") {
+		t.Fatal("span ID ignores part boundaries")
+	}
+}
+
+func TestObserverTraceLifecycle(t *testing.T) {
+	var nilObs *Observer
+	if got := nilObs.TraceID(); got != "" {
+		t.Fatalf("nil observer TraceID = %q", got)
+	}
+	if got := nilObs.EnsureTrace(); got != "" {
+		t.Fatalf("nil observer EnsureTrace = %q", got)
+	}
+	nilObs.SetTrace("x") // must not panic
+
+	o := New(Config{Clock: StepClock(time.Unix(1000, 0), time.Millisecond)})
+	if got := o.TraceID(); got != "" {
+		t.Fatalf("fresh observer TraceID = %q, want empty", got)
+	}
+	minted := o.EnsureTrace()
+	if minted == "" {
+		t.Fatal("EnsureTrace minted nothing")
+	}
+	if again := o.EnsureTrace(); again != minted {
+		t.Fatalf("EnsureTrace re-minted: %q then %q", minted, again)
+	}
+	o.SetTrace("feedc0de12345678")
+	if got := o.TraceID(); got != "feedc0de12345678" {
+		t.Fatalf("TraceID after SetTrace = %q", got)
+	}
+}
+
+func TestEmitTagsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf, 8)
+	o := New(Config{Clock: StepClock(time.Unix(1000, 0), time.Millisecond), Sink: s})
+	o.SetTrace("aa00aa00aa00aa00")
+	o.Emit("plain", map[string]any{"k": 1})
+	o.Emit("no_fields", nil)
+	// A relayed event already carrying its origin's trace ID keeps it.
+	o.Emit("relayed", map[string]any{"trace_id": "bb11bb11bb11bb11"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	for i, want := range []string{"aa00aa00aa00aa00", "aa00aa00aa00aa00", "bb11bb11bb11bb11"} {
+		if !strings.Contains(lines[i], `"trace_id":"`+want+`"`) {
+			t.Errorf("line %d missing trace_id %q: %s", i, want, lines[i])
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shard.points.committed").Add(7)
+	r.Gauge("campaign.points.total").Set(12)
+	h := r.Histogram("point_ns")
+	h.Observe(1) // bucket [1,1]
+	h.Observe(3) // bucket [2,3]
+	h.Observe(3)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE cbma_shard_points_committed counter\ncbma_shard_points_committed 7\n",
+		"# TYPE cbma_campaign_points_total gauge\ncbma_campaign_points_total 12\n",
+		"# TYPE cbma_point_ns histogram\n",
+		`cbma_point_ns_bucket{le="1"} 1`,
+		`cbma_point_ns_bucket{le="3"} 3`,
+		`cbma_point_ns_bucket{le="+Inf"} 3`,
+		"cbma_point_ns_sum 7\n",
+		"cbma_point_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(2)
+	srv := httptest.NewServer(PrometheusHandler(r.Snapshot))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "cbma_hits 2") {
+		t.Errorf("scrape missing counter:\n%s", body.String())
+	}
+	// The counter ticks between scrapes: the snapshot is taken per request.
+	r.Counter("hits").Inc()
+	resp2, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body.Reset()
+	if _, err := body.ReadFrom(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.String(), "cbma_hits 3") {
+		t.Errorf("second scrape not live:\n%s", body.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	h := NewRegistry().Histogram("x")
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.snapshot("x")
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q=0 → %d, want Min=1", got)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("q=1 → %d, want Max=1000", got)
+	}
+	// Log2 buckets bound the interpolation error: the estimate must land
+	// within the true quantile's bucket, and monotonically increase in q.
+	prev := int64(0)
+	for _, tc := range []struct {
+		q     float64
+		true_ int64
+	}{{0.25, 250}, {0.50, 500}, {0.95, 950}, {0.99, 990}} {
+		got := s.Quantile(tc.q)
+		if got < prev {
+			t.Errorf("quantile not monotonic: q=%v → %d < %d", tc.q, got, prev)
+		}
+		prev = got
+		lo, hi := tc.true_/2, tc.true_*2
+		if got < lo || got > hi {
+			t.Errorf("q=%v → %d, true %d (outside log2 bound [%d,%d])", tc.q, got, tc.true_, lo, hi)
+		}
+	}
+	// A single observation answers every quantile with itself.
+	one := NewRegistry().Histogram("y")
+	one.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.snapshot("y").Quantile(q); got != 42 {
+			t.Errorf("single-value q=%v → %d, want 42", q, got)
+		}
+	}
+}
+
+func TestProgressPrimeExcludedFromETA(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	var buf bytes.Buffer
+	// Each clock() call advances one second.
+	p := NewProgress(&buf, StepClock(epoch, time.Second))
+	p.Start("resume", 10)
+	p.Prime(8)
+	last := func() string {
+		frames := strings.Split(buf.String(), "\r")
+		return frames[len(frames)-1]
+	}
+	// Primed points advance the count but not the pace; with no timed
+	// points yet there is no ETA to extrapolate.
+	if l := last(); !strings.Contains(l, "8/10") || strings.Contains(l, "eta") {
+		t.Fatalf("post-prime line %q: want 8/10 and no eta", l)
+	}
+	p.Step()
+	// 9/10 done, but only 1 timed point over the elapsed time: the ETA must
+	// reflect the single-point pace, not (elapsed/9)*(1 remaining).
+	l := last()
+	if !strings.Contains(l, "9/10") || !strings.Contains(l, "eta") {
+		t.Fatalf("post-step line %q: want 9/10 with eta", l)
+	}
+	// The clock ticks once per call: Start at t0, Prime at t0+1s, Step at
+	// t0+2s. Elapsed = 2s over 1 timed point; eta = 2s × 1 remaining = 2s.
+	// The un-primed calculation would give 2s/9 × 1 ≈ 222ms.
+	if !strings.Contains(l, "eta 2s") {
+		t.Fatalf("line %q: want eta 2s (pace from timed points only)", l)
+	}
+	p.Finish()
+	if !p.clockOK() {
+		t.Fatal("clock sanity")
+	}
+}
+
+// clockOK keeps the test honest if Progress's internals change shape.
+func (p *Progress) clockOK() bool { return p != nil && p.clock != nil }
+
+// TestSnapshotMergeRandomPartitions is the randomized-partition property
+// behind shard-merged telemetry: however a stream of observations is split
+// across shard registries, and in whatever order the shards' snapshots fold
+// back together, the merge equals the one registry that saw everything.
+func TestSnapshotMergeRandomPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	names := []string{"shard.points.committed", "rounds", "point_ns", "decode_ns"}
+	for trial := 0; trial < 50; trial++ {
+		shards := 1 + rng.Intn(8)
+		regs := make([]*Registry, shards)
+		for i := range regs {
+			regs[i] = NewRegistry()
+		}
+		whole := NewRegistry()
+		for i, n := 0, 100+rng.Intn(400); i < n; i++ {
+			r := regs[rng.Intn(shards)]
+			name := names[rng.Intn(len(names))]
+			v := int64(rng.Intn(1 << 24))
+			switch rng.Intn(3) {
+			case 0:
+				r.Counter(name).Add(v)
+				whole.Counter(name).Add(v)
+			case 1:
+				// Gauges merge by max of each shard's FINAL value, so only
+				// monotone sets keep the partition property comparable to a
+				// single registry (matching real usage: points.total,
+				// high-water marks).
+				if g := r.Gauge(name); g.Value() < v {
+					g.Set(v)
+				}
+				if g := whole.Gauge(name); g.Value() < v {
+					g.Set(v)
+				}
+			default:
+				r.Histogram(name).Observe(v)
+				whole.Histogram(name).Observe(v)
+			}
+		}
+		// Fold in a random shard order.
+		order := rng.Perm(shards)
+		merged := Snapshot{}
+		for _, i := range order {
+			merged = merged.Merge(regs[i].Snapshot())
+		}
+		if want := whole.Snapshot(); !reflect.DeepEqual(merged, want) {
+			t.Fatalf("trial %d (%d shards, order %v): merged != whole\nmerged=%+v\nwhole=%+v",
+				trial, shards, order, merged, want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+// Trace context for distributed campaigns. A sharded run spans several
+// processes (coordinator + shard workers), each with its own Observer; the
+// trace ID is the thread that stitches their telemetry back together. The
+// coordinator mints one trace ID per campaign, tags every event it emits
+// (and every event relayed from a worker) with it, carries it in the run
+// manifest, and sends it over the shard wire so worker-side logs can
+// reference it too. Span IDs are deterministic digests of the trace ID plus
+// a path (shard index, point index), so the same campaign replayed under
+// the same trace yields the same span identifiers — `cbmaobs` relies on
+// this to join dispatch, retry and commit events for one range.
+//
+// Trace IDs are telemetry, not simulation state: NewTraceID reads only the
+// injected Clock (obsclock-compliant) and a process-scoped sequence number,
+// and nothing result-bearing ever consumes a trace or span ID.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// traceSeq disambiguates trace IDs minted at the same clock reading (e.g.
+// under a zero or frozen test clock).
+var traceSeq atomic.Uint64
+
+// NewTraceID mints a 16-hex-digit campaign trace identifier from the given
+// clock reading and a process-wide sequence number. A nil clock is allowed
+// (the sequence number alone keeps IDs unique within the process).
+func NewTraceID(clock Clock) string {
+	var t int64
+	if clock != nil {
+		t = clock().UnixNano()
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(t))
+	binary.LittleEndian.PutUint64(buf[8:], traceSeq.Add(1))
+	sum := sha256.Sum256(buf[:])
+	return hex.EncodeToString(sum[:8])
+}
+
+// SpanID derives a deterministic 16-hex-digit span identifier from its
+// parts — conventionally the trace ID followed by a path like
+// ("shard", "2") or ("point", "17"). Equal parts always yield equal IDs.
+func SpanID(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// SetTrace attaches a trace ID to the observer: every subsequent Emit is
+// tagged with a "trace_id" field and Manifest records it. Concurrency-safe;
+// no-op on a nil observer.
+func (o *Observer) SetTrace(id string) {
+	if o == nil || id == "" {
+		return
+	}
+	o.trace.Store(id)
+}
+
+// TraceID returns the observer's trace ID, or "" if none is set.
+func (o *Observer) TraceID() string {
+	if o == nil {
+		return ""
+	}
+	id, _ := o.trace.Load().(string)
+	return id
+}
+
+// EnsureTrace returns the observer's trace ID, minting and attaching a
+// fresh one if none is set yet. Returns "" only for a nil observer.
+func (o *Observer) EnsureTrace() string {
+	if o == nil {
+		return ""
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, _ := o.trace.Load().(string); id != "" {
+		return id
+	}
+	id := NewTraceID(o.clock)
+	o.trace.Store(id)
+	return id
+}

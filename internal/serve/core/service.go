@@ -64,6 +64,12 @@ func (s *Service) Run(ctx context.Context, points []sim.Scenario, opts sim.Campa
 				out[i].Metrics = e.Metrics
 				out[i].Cached = true
 				s.Obs.Counter("serve.cache.hits").Inc()
+				// Cache-served points never reach the engine, so they would
+				// be invisible in the job's trace timeline; record them on
+				// the point's own (per-job) observer.
+				if po := scn.Obs; po.EmitsEvents() {
+					po.Emit("point_cached", map[string]any{"point": i, "hash": h})
+				}
 				continue
 			}
 		}

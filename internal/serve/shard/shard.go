@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,8 +70,9 @@ type Config struct {
 	// and corrupt replies on the schedule fault.NewWorkerInjector derives.
 	WorkerFaults *fault.WorkerProfile
 	// Obs receives coordinator telemetry (shard.* counters, dispatch
-	// events, attempt timings, campaign progress) when the campaign's own
-	// opts carry no observer. Telemetry never changes results.
+	// events, attempt timings, campaign progress, the per-shard breakdown)
+	// when neither the campaign's opts nor its points carry an observer.
+	// Telemetry never changes results.
 	Obs *obs.Observer
 }
 
@@ -137,8 +139,18 @@ func (c *Coordinator) Run(ctx context.Context, points []sim.Scenario, opts sim.C
 	}
 	o := opts.Obs
 	if o == nil {
+		// The daemon's batch layer attaches per-job observers to the points,
+		// not the opts (mirroring sim.RunCampaignContext's fallback): route
+		// shard telemetry into the job's own pipeline when present.
+		o = points[0].Obs
+	}
+	if o == nil {
 		o = c.cfg.Obs
 	}
+	// One trace ID covers the whole distributed campaign: every coordinator
+	// event carries it, it rides the wire to workers, and the manifest
+	// records it.
+	o.EnsureTrace()
 	out := make([]sim.Metrics, len(points))
 	perr := make([]*sim.PointError, len(points))
 	hashes := make([]string, len(points))
@@ -174,9 +186,10 @@ func (c *Coordinator) Run(ctx context.Context, points []sim.Scenario, opts sim.C
 	}
 	o.CampaignStart(what, len(points))
 	o.Counter("shard.points.restored").Add(int64(restored))
-	for i := 0; i < len(points)-len(pending); i++ {
-		o.CampaignPoint() // invalid + restored points are already resolved
-	}
+	// Invalid + restored points are already resolved: they advance the
+	// progress line as done but stay out of the ETA's pace sample, so a
+	// resumed campaign projects from actually-executed points only.
+	o.CampaignRestored(what, len(points)-len(pending))
 	if len(pending) > 0 {
 		c.dispatch(ctx, points, hashes, pending, opts, o, journal, what, out, perr)
 	}
@@ -276,6 +289,7 @@ func (c *Coordinator) dispatch(ctx context.Context, points []sim.Scenario, hashe
 				if o.EmitsEvents() {
 					o.Emit("shard_retry", map[string]any{
 						"what": what, "shard": t.shard, "attempt": t.dispatch,
+						"span_id": rangeSpan(o, t.shard),
 						"pending": len(t.pending), "error": err.Error(),
 					})
 				}
@@ -297,6 +311,12 @@ func (c *Coordinator) attempt(ctx context.Context, t *task, points []sim.Scenari
 		Indices: append([]int(nil), t.pending...),
 		What:    what,
 		Workers: opts.Workers,
+		// Trace context and telemetry asks: workers relay their events only
+		// when a sink exists to merge them into, and ship their registry
+		// snapshot whenever any observer will fold it into the breakdown.
+		TraceID:      o.TraceID(),
+		RelayEvents:  o.EmitsEvents(),
+		WantSnapshot: o != nil,
 	}
 	t.dispatch++
 	for _, i := range a.Indices {
@@ -314,11 +334,13 @@ func (c *Coordinator) attempt(ctx context.Context, t *task, points []sim.Scenari
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	span := rangeSpan(o, a.Shard)
 	sink := &attemptSink{
 		expected: make(map[int]bool, len(a.Indices)),
 		beats:    make(chan struct{}, 1),
 		points:   points, hashes: hashes, journal: journal,
 		o: o, what: what, out: out, perr: perr,
+		shard: a.Shard, attempt: a.Attempt, span: span,
 	}
 	for _, i := range a.Indices {
 		sink.expected[i] = true
@@ -333,14 +355,16 @@ func (c *Coordinator) attempt(ctx context.Context, t *task, points []sim.Scenari
 		}()
 	}
 	o.Counter("shard.dispatches").Inc()
+	o.Shards().AddAttempt(a.Shard)
 	if o.EmitsEvents() {
 		o.Emit("shard_dispatch", map[string]any{
-			"what": what, "shard": a.Shard, "attempt": a.Attempt, "points": len(a.Indices),
+			"what": what, "shard": a.Shard, "attempt": a.Attempt,
+			"span_id": span, "points": len(a.Indices),
 		})
 	}
 	sp := o.Start(o.Histogram("shard.attempt_ns"))
 	err := c.cfg.Transport.Execute(actx, a, sink)
-	sp.End()
+	ns := sp.End()
 	cancel()
 	mwg.Wait()
 	// Remove resolved points from the range; what is left redispatches.
@@ -358,7 +382,25 @@ func (c *Coordinator) attempt(ctx context.Context, t *task, points []sim.Scenari
 		// Every point landed before the failure — the attempt did its job.
 		err = nil
 	}
+	if o.EmitsEvents() {
+		f := map[string]any{
+			"what": what, "shard": a.Shard, "attempt": a.Attempt,
+			"span_id": span, "delivered": len(sink.resolved),
+			"pending": len(t.pending), "ns": ns,
+		}
+		if err != nil {
+			f["error"] = err.Error()
+		}
+		o.Emit("shard_attempt_done", f)
+	}
 	return len(sink.resolved) > 0, err
+}
+
+// rangeSpan derives the stable span ID for a shard's point range: the same
+// campaign trace and shard always yield the same ID, which is what lets
+// cbmaobs join a range's dispatch, retry and commit events across attempts.
+func rangeSpan(o *obs.Observer, shard int) string {
+	return obs.SpanID(o.TraceID(), "shard", strconv.Itoa(shard))
 }
 
 // quarantine abandons a range's remaining points, mirroring the engine's
@@ -378,7 +420,8 @@ func (c *Coordinator) quarantine(t *task, o *obs.Observer, what string, perr []*
 	if o.EmitsEvents() {
 		o.Emit("shard_quarantine", map[string]any{
 			"what": what, "shard": t.shard, "attempts": t.dispatch,
-			"points": len(t.pending), "error": cause.Error(),
+			"span_id": rangeSpan(o, t.shard),
+			"points":  len(t.pending), "error": cause.Error(),
 		})
 	}
 }
@@ -461,7 +504,10 @@ func partition(pending []int, shards int) [][]int {
 
 // attemptSink commits an attempt's streamed results: validation (only
 // assigned, not-yet-delivered points are accepted), journaling, telemetry
-// and progress. It is called only from the attempt's dispatch goroutine.
+// and progress. Beat/Deliver are called only from the attempt's dispatch
+// goroutine; Event/Telemetry may also arrive from a transport relay
+// goroutine and touch only concurrency-safe state (the observer and the
+// per-shard collector), never the expected/resolved maps.
 type attemptSink struct {
 	expected map[int]bool // assigned and not yet delivered this attempt
 	resolved map[int]bool // delivered this attempt (result or point error)
@@ -474,15 +520,49 @@ type attemptSink struct {
 	what    string
 	out     []sim.Metrics
 	perr    []*sim.PointError
+
+	shard   int
+	attempt int
+	span    string // the range's span ID (see rangeSpan)
 }
 
 // Beat implements Sink; it never blocks (the monitor drains the buffered
 // channel, and a beat arriving while one is pending is redundant).
 func (s *attemptSink) Beat() {
+	s.o.Shards().AddBeat(s.shard)
 	select {
 	case s.beats <- struct{}{}:
 	default:
 	}
+}
+
+// Event implements Sink: a relayed worker event re-emits into the campaign
+// stream tagged with its origin and trace context. The worker's own
+// timestamp (ns since the worker's run epoch) is preserved as worker_t_ns;
+// the merged stream's t_ns is the coordinator's. Relayed events also count
+// as liveness — a worker busy inside a long point still streams telemetry.
+func (s *attemptSink) Event(ev obs.Event) {
+	s.Beat()
+	s.o.Counter("shard.events.relayed").Inc()
+	if !s.o.EmitsEvents() {
+		return
+	}
+	f := ev.Fields
+	if f == nil {
+		f = make(map[string]any, 4)
+	}
+	f["shard"] = s.shard
+	f["attempt"] = s.attempt
+	f["span_id"] = s.span
+	f["worker_t_ns"] = ev.T
+	s.o.Emit(ev.Type, f)
+}
+
+// Telemetry implements Sink: the worker's registry snapshot merges into
+// the campaign's per-shard breakdown (a reassigned range merges every
+// attempt's snapshot).
+func (s *attemptSink) Telemetry(snap obs.Snapshot) {
+	s.o.Shards().MergeRegistry(s.shard, snap)
 }
 
 // Deliver implements Sink.
@@ -497,7 +577,8 @@ func (s *attemptSink) Deliver(r PointResult) error {
 		s.resolved = make(map[int]bool)
 	}
 	s.resolved[r.Index] = true
-	if r.Err != "" {
+	failed := r.Err != ""
+	if failed {
 		s.perr[r.Index] = &sim.PointError{What: s.what, Point: r.Index, Err: errors.New(r.Err)}
 		s.o.Counter("shard.points.failed").Inc()
 	} else {
@@ -506,6 +587,20 @@ func (s *attemptSink) Deliver(r PointResult) error {
 			s.journal.Commit(r.Index, s.hashes[r.Index], s.points[r.Index].Seed, r.Metrics)
 		}
 		s.o.Counter("shard.points.committed").Inc()
+	}
+	s.o.Shards().AddPoint(s.shard, failed)
+	if s.o.EmitsEvents() {
+		f := map[string]any{
+			"what": s.what, "shard": s.shard, "attempt": s.attempt, "point": r.Index,
+			"span_id": obs.SpanID(s.o.TraceID(), "point", strconv.Itoa(r.Index)),
+		}
+		if failed {
+			f["failed"] = true
+		}
+		if r.ElapsedNs > 0 {
+			f["ns"] = r.ElapsedNs
+		}
+		s.o.Emit("shard_point", f)
 	}
 	s.o.CampaignPoint()
 	return nil

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -140,6 +141,88 @@ func TestCampaignShardedEquivalence(t *testing.T) {
 		if gotFailed := failedPoints(t, gotErr); !reflect.DeepEqual(wantFailed, gotFailed) {
 			t.Errorf("shards=%d failed points %v, want %v", shards, gotFailed, wantFailed)
 		}
+
+		// Telemetry must be provably off the result path: the same run with
+		// a full observer (ticking clock, event sink, trace propagation,
+		// per-shard stats) produces byte-identical metrics and failures.
+		var events bytes.Buffer
+		snk := obs.NewSink(&events, 0)
+		o := obs.New(obs.Config{Clock: obs.SystemClock(), Sink: snk})
+		co := New(Config{Shards: shards, Backoff: time.Millisecond, Obs: o})
+		got2, gotErr2 := co.Run(context.Background(), points, sim.CampaignOpts{Workers: 2, What: "reference"})
+		if err := snk.Close(); err != nil {
+			t.Fatal(err)
+		}
+		metricsEqualJSON(t, want, got2)
+		if gotFailed := failedPoints(t, gotErr2); !reflect.DeepEqual(wantFailed, gotFailed) {
+			t.Errorf("shards=%d telemetry-on failed points %v, want %v", shards, gotFailed, wantFailed)
+		}
+		if o.TraceID() == "" {
+			t.Errorf("shards=%d: coordinator did not mint a trace ID", shards)
+		}
+		if events.Len() == 0 {
+			t.Errorf("shards=%d: telemetry-on run emitted no events; the equivalence check is vacuous", shards)
+		}
+	}
+}
+
+// TestShardBreakdownSumsToCommitted pins the manifest invariant the CI
+// smoke asserts with jq: per-shard telemetry point counts sum exactly to
+// this run's committed-point counter, on a fresh run and on a journal
+// resume (restored points never count toward any shard's row).
+func TestShardBreakdownSumsToCommitted(t *testing.T) {
+	points := campaignPoints(t, false)
+	dir := t.TempDir()
+	const interruptAfter = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o1 := obs.New(obs.Config{Clock: obs.SystemClock()})
+	c1 := New(Config{
+		Shards:     2,
+		Parallel:   1,
+		Transport:  &cancelAfterTransport{inner: Local{}, after: interruptAfter, cancel: cancel},
+		JournalDir: dir,
+		Backoff:    time.Millisecond,
+		Obs:        o1,
+	})
+	if _, err := c1.Run(ctx, points, sim.CampaignOpts{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	checkBreakdown(t, "interrupted", o1)
+
+	o2 := obs.New(obs.Config{Clock: obs.SystemClock()})
+	c2 := New(Config{Shards: 2, Transport: Local{}, JournalDir: dir, Backoff: time.Millisecond, Obs: o2})
+	if _, err := c2.Run(context.Background(), points, sim.CampaignOpts{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	checkBreakdown(t, "resumed", o2)
+	sum := int64(0)
+	for _, row := range o2.Shards().Breakdown() {
+		sum += row.Points
+	}
+	if want := int64(len(points) - interruptAfter); sum != want {
+		t.Errorf("resumed run breakdown sums to %d, want %d (restored points must not count)", sum, want)
+	}
+	man := o2.Manifest("test")
+	if man.TraceID == "" {
+		t.Error("manifest missing trace_id")
+	}
+	if len(man.ShardBreakdown) == 0 || man.WorkerRegistry == nil {
+		t.Errorf("manifest missing shard breakdown (%d rows) or worker registry (%v)",
+			len(man.ShardBreakdown), man.WorkerRegistry)
+	}
+}
+
+// checkBreakdown asserts sum(breakdown points) == shard.points.committed.
+func checkBreakdown(t *testing.T, label string, o *obs.Observer) {
+	t.Helper()
+	var sum int64
+	for _, row := range o.Shards().Breakdown() {
+		sum += row.Points
+	}
+	if committed := o.Counter("shard.points.committed").Value(); sum != committed {
+		t.Errorf("%s: breakdown sums to %d, committed counter = %d", label, sum, committed)
 	}
 }
 
@@ -155,7 +238,12 @@ func TestCampaignShardedEquivalenceChaos(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	o := obs.New(obs.Config{})
+	// Full telemetry (ticking clock + event sink): chaos-degraded execution
+	// with the observer on must still match the single-process reference.
+	var events bytes.Buffer
+	snk := obs.NewSink(&events, 0)
+	t.Cleanup(func() { _ = snk.Close() })
+	o := obs.New(obs.Config{Clock: obs.SystemClock(), Sink: snk})
 	c := New(Config{
 		Shards:           4,
 		Transport:        Local{},

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 
+	"cbma/internal/obs"
 	"cbma/internal/sim"
 )
 
@@ -24,13 +25,21 @@ import (
 //	{"type":"result","sum":h,"payload":p}  one completed point; sum is the
 //	                                       hex SHA-256 of the exact payload
 //	                                       bytes (a PointResult)
-//	{"type":"done","results":n}            clean end of stream
+//	{"type":"event","payload":e}           one relayed telemetry event (an
+//	                                       obs.Event; sent only when the
+//	                                       request set relay_events)
+//	{"type":"done","results":n,            clean end of stream; snapshot is
+//	       "snapshot":s}                   the worker's registry (only when
+//	                                       the request set want_snapshot)
 //	{"type":"error","error":msg}           worker-side fatal error
 //
 // Results are checksummed individually so a reply torn by a mid-write
 // kill -9 is detected at the message boundary: everything before it is
 // committed, the attempt fails, and only the remainder redispatches.
-// Unknown message types are ignored for forward compatibility.
+// Telemetry is best-effort by design: a malformed event payload is
+// dropped, never fatal, and a crashed worker loses only its registry
+// snapshot (its events were streamed live). Unknown message types are
+// ignored for forward compatibility.
 
 // wireVersion is the protocol version; a worker refuses any other.
 const wireVersion = 1
@@ -43,24 +52,28 @@ var ErrNotWireable = errors.New("shard: scenario does not survive the wire (run 
 
 // wireRequest is the worker's stdin document.
 type wireRequest struct {
-	Version     int            `json:"version"`
-	Shard       int            `json:"shard"`
-	Attempt     int            `json:"attempt"`
-	What        string         `json:"what,omitempty"`
-	Workers     int            `json:"workers,omitempty"`
-	HeartbeatMS int            `json:"heartbeat_ms,omitempty"`
-	Indices     []int          `json:"indices"`
-	Hashes      []string       `json:"hashes"`
-	Points      []sim.Scenario `json:"points"`
+	Version      int            `json:"version"`
+	Shard        int            `json:"shard"`
+	Attempt      int            `json:"attempt"`
+	What         string         `json:"what,omitempty"`
+	Workers      int            `json:"workers,omitempty"`
+	HeartbeatMS  int            `json:"heartbeat_ms,omitempty"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	RelayEvents  bool           `json:"relay_events,omitempty"`
+	WantSnapshot bool           `json:"want_snapshot,omitempty"`
+	Indices      []int          `json:"indices"`
+	Hashes       []string       `json:"hashes"`
+	Points       []sim.Scenario `json:"points"`
 }
 
 // wireMsg is one stdout line.
 type wireMsg struct {
-	Type    string          `json:"type"`
-	Sum     string          `json:"sum,omitempty"`
-	Payload json.RawMessage `json:"payload,omitempty"`
-	Results int             `json:"results,omitempty"`
-	Error   string          `json:"error,omitempty"`
+	Type     string          `json:"type"`
+	Sum      string          `json:"sum,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Results  int             `json:"results,omitempty"`
+	Snapshot *obs.Snapshot   `json:"snapshot,omitempty"`
+	Error    string          `json:"error,omitempty"`
 }
 
 // SubprocessConfig assembles a Subprocess transport.
@@ -103,6 +116,7 @@ func (s *Subprocess) Execute(ctx context.Context, a Assignment, sink Sink) error
 	req := wireRequest{
 		Version: wireVersion, Shard: a.Shard, Attempt: a.Attempt,
 		What: a.What, Workers: a.Workers, HeartbeatMS: a.HeartbeatMS,
+		TraceID: a.TraceID, RelayEvents: a.RelayEvents, WantSnapshot: a.WantSnapshot,
 		Indices: a.Indices, Hashes: a.Hashes, Points: a.Points,
 	}
 	body, err := json.Marshal(req)
@@ -187,8 +201,18 @@ func readStream(r io.Reader, sink Sink) (done bool, err error) {
 			if err := sink.Deliver(pr); err != nil {
 				return done, err
 			}
+		case "event":
+			// Relayed worker telemetry: best-effort, so a malformed payload
+			// is dropped rather than failing the attempt.
+			var ev obs.Event
+			if err := json.Unmarshal(msg.Payload, &ev); err == nil {
+				sink.Event(ev)
+			}
 		case "done":
 			done = true
+			if msg.Snapshot != nil {
+				sink.Telemetry(*msg.Snapshot)
+			}
 		case "error":
 			return done, fmt.Errorf("shard: worker error: %s", msg.Error)
 		}

@@ -148,6 +148,8 @@ type discardSink struct{}
 
 func (discardSink) Beat()                     {}
 func (discardSink) Deliver(PointResult) error { return nil }
+func (discardSink) Event(obs.Event)           {}
+func (discardSink) Telemetry(obs.Snapshot)    {}
 
 // TestServeWorkerRefusesHashMismatch: the worker re-derives every
 // scenario hash and refuses an assignment whose content does not match —
@@ -235,6 +237,103 @@ func TestServeWorkerRoundTrip(t *testing.T) {
 	}
 	if len(results) != 2 || results[0].Index != 4 || results[1].Index != 9 {
 		t.Fatalf("results carry wrong indices: %+v", results)
+	}
+	want, err := sim.RunCampaign(points, sim.CampaignOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsEqualJSON(t, want, []sim.Metrics{results[0].Metrics, results[1].Metrics})
+}
+
+// TestServeWorkerRelaysTelemetry drives the worker with trace propagation,
+// event relay and snapshot shipping all on: every relayed event line
+// decodes and carries the coordinator's trace ID, the done marker carries a
+// registry snapshot of the worker's execution, and the results themselves
+// stay bit-identical to a telemetry-off reference.
+func TestServeWorkerRelaysTelemetry(t *testing.T) {
+	points := campaignPoints(t, false)[:2]
+	hashes := journalHashes(t, points)
+	req := wireRequest{
+		Version:      wireVersion,
+		Indices:      []int{0, 1},
+		Hashes:       hashes,
+		Points:       points,
+		Workers:      2,
+		TraceID:      "feedc0de12345678",
+		RelayEvents:  true,
+		WantSnapshot: true,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := ServeWorker(context.Background(), bytes.NewReader(body), &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		results  []PointResult
+		events   []obs.Event
+		snapshot *obs.Snapshot
+	)
+	for _, line := range bytes.Split(out.Bytes(), []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var msg wireMsg
+		if err := json.Unmarshal(line, &msg); err != nil {
+			t.Fatalf("undecodable line %q: %v", line, err)
+		}
+		switch msg.Type {
+		case "result":
+			var pr PointResult
+			if err := json.Unmarshal(msg.Payload, &pr); err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, pr)
+		case "event":
+			var ev obs.Event
+			if err := json.Unmarshal(msg.Payload, &ev); err != nil {
+				t.Fatalf("undecodable event payload %q: %v", msg.Payload, err)
+			}
+			events = append(events, ev)
+		case "done":
+			snapshot = msg.Snapshot
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("worker relayed no events with RelayEvents set")
+	}
+	for _, ev := range events {
+		if got, _ := ev.Fields["trace_id"].(string); got != req.TraceID {
+			t.Fatalf("event %q carries trace_id %q, want %q", ev.Type, got, req.TraceID)
+		}
+	}
+	if snapshot == nil {
+		t.Fatal("done marker carries no snapshot with WantSnapshot set")
+	}
+	rounds := int64(0)
+	for _, c := range snapshot.Counters {
+		if c.Name == "sim.rounds.executed" {
+			rounds = c.Value
+		}
+	}
+	if rounds == 0 {
+		t.Error("snapshot missing sim.rounds.executed — worker registry not captured")
+	}
+	pointNs := false
+	for _, h := range snapshot.Histograms {
+		if h.Name == "campaign.point_ns" && h.Count == int64(len(points)) {
+			pointNs = true
+		}
+	}
+	if !pointNs {
+		t.Errorf("snapshot missing campaign.point_ns with count %d: %+v", len(points), snapshot.Histograms)
+	}
+	for i, r := range results {
+		if r.ElapsedNs <= 0 {
+			t.Errorf("result %d missing elapsed_ns", i)
+		}
 	}
 	want, err := sim.RunCampaign(points, sim.CampaignOpts{Workers: 2})
 	if err != nil {

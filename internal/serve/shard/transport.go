@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 
+	"cbma/internal/obs"
 	"cbma/internal/serve/core"
 	"cbma/internal/sim"
 )
@@ -46,6 +47,16 @@ type Assignment struct {
 	// HeartbeatMS asks the worker to emit liveness beats this often; zero
 	// means the transport's default.
 	HeartbeatMS int
+	// TraceID is the campaign's trace identifier; it rides the wire so
+	// worker-side telemetry can reference the campaign that dispatched it.
+	TraceID string
+	// RelayEvents asks the worker to stream its telemetry events (round
+	// lifecycle, faults, per-point timings) back for the coordinator to
+	// merge into the campaign's event stream.
+	RelayEvents bool
+	// WantSnapshot asks the worker to ship its registry snapshot with the
+	// done marker so the coordinator can build the per-shard breakdown.
+	WantSnapshot bool
 }
 
 // PointResult is one completed point streamed back from a worker. Err, when
@@ -55,11 +66,16 @@ type PointResult struct {
 	Index   int         `json:"index"`
 	Metrics sim.Metrics `json:"metrics"`
 	Err     string      `json:"error,omitempty"`
+	// ElapsedNs is the worker-side execution time of this point — telemetry
+	// riding along with the result, never entering the journal or Metrics.
+	ElapsedNs int64 `json:"elapsed_ns,omitempty"`
 }
 
 // Sink receives a shard attempt's streamed output on the coordinator side.
-// Implementations are only ever called from the goroutine running
-// Transport.Execute.
+// Beat and Deliver are only ever called from the goroutine running
+// Transport.Execute; Event and Telemetry may additionally arrive from a
+// transport-owned relay goroutine, so implementations must allow them to
+// run concurrently with Beat/Deliver.
 type Sink interface {
 	// Beat signals liveness without delivering a result; Deliver implies
 	// a beat.
@@ -68,6 +84,13 @@ type Sink interface {
 	// error (e.g. ErrCorruptReply for an out-of-assignment index) tells
 	// the transport to abandon the attempt and return it.
 	Deliver(PointResult) error
+	// Event hands over one worker telemetry event (sent only when the
+	// assignment set RelayEvents). Best-effort: events never affect
+	// results and a lost event is not an error.
+	Event(ev obs.Event)
+	// Telemetry hands over the worker's registry snapshot (sent with the
+	// done marker when the assignment set WantSnapshot).
+	Telemetry(snap obs.Snapshot)
 }
 
 // Transport executes one assignment, streaming results into the sink.
@@ -93,6 +116,11 @@ type Local struct {
 	// Runner executes single-point campaigns; nil means the production
 	// engine (core.CampaignRunner).
 	Runner core.Runner
+	// Clock times worker-side telemetry (point durations, event stamps)
+	// when the assignment requests it. Nil is fine — spans read as zero —
+	// so tests stay deterministic; binaries are expected to run sharded
+	// campaigns over Subprocess, which always uses the system clock.
+	Clock obs.Clock
 }
 
 // Execute implements Transport.
@@ -101,11 +129,27 @@ func (l Local) Execute(ctx context.Context, a Assignment, sink Sink) error {
 	if runner == nil {
 		runner = core.CampaignRunner{}
 	}
+	// The "worker side" of the in-process transport mirrors a subprocess
+	// worker: its own observer whose events relay straight into the sink
+	// and whose registry ships as the attempt's snapshot.
+	var (
+		wo    *obs.Observer
+		relay *obs.Sink
+	)
+	if a.RelayEvents || a.WantSnapshot {
+		if a.RelayEvents {
+			relay = obs.NewRelaySink(sink.Event, 0)
+		}
+		wo = obs.New(obs.Config{Clock: l.Clock, Sink: relay})
+	}
+	// Drain the relay on every return so no relayed event outlives the
+	// attempt and the relay goroutine is always joined.
+	defer func() { _ = relay.Close() }()
 	for j := range a.Points {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		res, err := runPoint(ctx, runner, a.Points[j], a.What, a.Workers)
+		res, err := runPoint(ctx, runner, a.Points[j], a.What, a.Workers, wo)
 		if err != nil {
 			return err
 		}
@@ -114,22 +158,29 @@ func (l Local) Execute(ctx context.Context, a Assignment, sink Sink) error {
 			return err
 		}
 	}
+	if a.WantSnapshot {
+		sink.Telemetry(wo.Registry().Snapshot())
+	}
 	return nil
 }
 
 // runPoint executes one point as a single-point campaign, folding the
 // campaign-level error shapes into the wire result: a point-level failure
 // becomes PointResult.Err (resolved, not retried), cancellation propagates
-// as an error (partial Interrupted metrics must never be committed).
-func runPoint(ctx context.Context, runner core.Runner, scn sim.Scenario, what string, workers int) (PointResult, error) {
-	ms, err := runner.Run(ctx, []sim.Scenario{scn}, sim.CampaignOpts{Workers: workers, What: what})
+// as an error (partial Interrupted metrics must never be committed). The
+// observer, when non-nil, instruments the engine and times the point
+// (shard.point_ns) — telemetry only; Metrics are bit-identical either way.
+func runPoint(ctx context.Context, runner core.Runner, scn sim.Scenario, what string, workers int, o *obs.Observer) (PointResult, error) {
+	sp := o.Start(o.Histogram("shard.point_ns"))
+	ms, err := runner.Run(ctx, []sim.Scenario{scn}, sim.CampaignOpts{Workers: workers, What: what, Obs: o})
+	ns := sp.End()
 	if cerr := ctx.Err(); cerr != nil {
 		return PointResult{}, cerr
 	}
 	if err != nil {
 		var ce *sim.CampaignError
 		if errors.As(err, &ce) {
-			return PointResult{Err: ce.Points[0].Err.Error()}, nil
+			return PointResult{Err: ce.Points[0].Err.Error(), ElapsedNs: ns}, nil
 		}
 		return PointResult{}, err
 	}
@@ -141,5 +192,5 @@ func runPoint(ctx context.Context, runner core.Runner, scn sim.Scenario, what st
 		// poison the journal with a partial computation.
 		return PointResult{}, context.Canceled
 	}
-	return PointResult{Metrics: ms[0]}, nil
+	return PointResult{Metrics: ms[0], ElapsedNs: ns}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"cbma/internal/obs"
 	"cbma/internal/serve/core"
 )
 
@@ -119,11 +120,42 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, runner core.Runn
 			}
 		}
 	}()
-	// Orderly shutdown on every path: stop the heartbeat, then close the
-	// line stream and collect the writer's error.
+	// The worker's own telemetry, when the coordinator asked for it: an
+	// observer on the system clock whose events (if relaying) encode as
+	// wire messages through the same single-writer line channel, so
+	// telemetry and results never interleave mid-line. The relay sink never
+	// blocks the run — a full ring drops events, same as everywhere else.
+	var (
+		wo    *obs.Observer
+		relay *obs.Sink
+	)
+	if req.RelayEvents || req.WantSnapshot {
+		if req.RelayEvents {
+			relay = obs.NewRelaySink(func(ev obs.Event) {
+				payload, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				line, err := json.Marshal(wireMsg{Type: "event", Payload: payload})
+				if err != nil {
+					return
+				}
+				lines <- wireLine{b: append(line, '\n')}
+			}, 0)
+		}
+		wo = obs.New(obs.Config{Clock: obs.SystemClock(), Sink: relay})
+		wo.SetTrace(req.TraceID)
+	}
+
+	// Orderly shutdown on every path: stop the heartbeat, drain the event
+	// relay (it feeds the line channel, so it must close first), then close
+	// the line stream and collect the writer's error.
 	finish := func() error {
 		close(hbDone)
 		hbWg.Wait()
+		if relay != nil {
+			_ = relay.Close()
+		}
 		close(lines)
 		return <-werr
 	}
@@ -137,7 +169,7 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, runner core.Runn
 			_ = finish()
 			return err
 		}
-		res, err := runPoint(ctx, runner, req.Points[j], req.What, req.Workers)
+		res, err := runPoint(ctx, runner, req.Points[j], req.What, req.Workers, wo)
 		if err != nil {
 			ferr := finish()
 			_ = writeFatal(w, err) // the stream is closed; write the error marker directly
@@ -161,7 +193,12 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, runner core.Runn
 		lines <- wireLine{b: append(line, '\n'), result: true}
 		sent++
 	}
-	doneLine, _ := json.Marshal(wireMsg{Type: "done", Results: sent})
+	doneMsg := wireMsg{Type: "done", Results: sent}
+	if req.WantSnapshot && wo != nil {
+		snap := wo.Registry().Snapshot()
+		doneMsg.Snapshot = &snap
+	}
+	doneLine, _ := json.Marshal(doneMsg)
 	lines <- wireLine{b: append(doneLine, '\n')}
 	return finish()
 }

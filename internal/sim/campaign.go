@@ -127,9 +127,12 @@ func RunCampaignContext(ctx context.Context, points []Scenario, opts CampaignOpt
 	runParallelCtx(ctx, pointWorkers, len(points), func(i int) {
 		sp := o.Start(pointHist)
 		perr[i] = runCampaignPoint(ctx, what, i, points[i], perEngine, opts.Obs, out)
-		sp.End()
+		ns := sp.End()
 		if o.EmitsEvents() {
 			f := map[string]any{"what": what, "point": i}
+			if ns > 0 {
+				f["ns"] = ns
+			}
 			if perr[i] != nil {
 				f["failed"] = true
 			}
